@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates its paper artifact (the table/figure rows)
+into ``benchmarks/artifacts/<name>.txt`` in addition to timing the
+representative computation, so ``pytest benchmarks/ --benchmark-only``
+leaves the full reproduction record on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> pathlib.Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+@pytest.fixture()
+def save_artifact(artifacts_dir):
+    def _save(name: str, text: str) -> None:
+        (artifacts_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _save

@@ -1,0 +1,40 @@
+"""Fig. 9 — weak scaling across the six Table IV problem sizes."""
+
+from repro.experiments import performance
+from repro.ocean.config import WEAK_SCALING_CONFIGS
+from repro.perfmodel import weak_scaling
+from repro.perfmodel.calibration import weak_cases
+
+
+def test_fig9_regeneration(benchmark, save_artifact):
+    text = benchmark(performance.format_fig9)
+    assert "weak scaling" in text
+    save_artifact("fig9_weak_scaling", text)
+
+
+def test_weak_scaling_sweep_cost(benchmark):
+    """Cost of evaluating both machines' six-point weak-scaling sweeps."""
+
+    def sweep():
+        return (
+            weak_scaling("orise", weak_cases("orise")),
+            weak_scaling("new_sunway", weak_cases("new_sunway")),
+        )
+
+    orise, sunway = benchmark(sweep)
+    assert orise[-1].efficiency > 0.8
+    assert sunway[-1].efficiency > 0.85
+
+
+def test_per_rank_load_is_constant(benchmark, save_artifact):
+    """Table IV keeps ~107k points per rank across all six scales."""
+
+    def build():
+        lines = ["resolution  points/rank (ORISE GPUs)  points/rank (Sunway ranks)"]
+        for cfg, gpus, cores in WEAK_SCALING_CONFIGS:
+            per_gpu = cfg.grid_points / gpus
+            per_cg = cfg.grid_points / (cores / 65)
+            lines.append(f"{cfg.resolution_km:7.2f} km  {per_gpu:12.0f}  {per_cg:12.0f}")
+        return "\n".join(lines)
+
+    save_artifact("table4_per_rank_load", benchmark(build))

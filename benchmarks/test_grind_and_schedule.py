@@ -1,0 +1,63 @@
+"""Resolution-independence of the grind time + §VIII platform scheduling.
+
+The scaling extrapolation rests on one claim: the model's cost per grid
+point per step is resolution-independent (all kernels are local).  The
+grind benchmark measures it across three demo sizes; the artifact
+records the per-point times, which must agree within a small factor.
+"""
+
+import time
+
+import numpy as np
+
+from repro.ocean import LICOMKpp, demo
+from repro.ocean.config import PAPER_CONFIGS
+from repro.perfmodel import format_schedule
+
+
+def _grind_seconds_per_point(size: str, steps: int = 4) -> float:
+    model = LICOMKpp(demo(size))
+    model.run_steps(2)  # warm up past the Euler step
+    t0 = time.perf_counter()
+    model.run_steps(steps)
+    elapsed = time.perf_counter() - t0
+    return elapsed / steps / model.config.grid_points
+
+
+def test_grind_time_resolution_independent(benchmark, save_artifact):
+    def measure():
+        return {size: _grind_seconds_per_point(size)
+                for size in ("tiny", "small", "medium")}
+
+    grinds = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"{'size':<8s} {'grid':>14s} {'s/point/step':>14s}"]
+    for size, g in grinds.items():
+        cfg = demo(size)
+        lines.append(f"{size:<8s} {cfg.nx:>5d}x{cfg.ny}x{cfg.nz:<3d} {g:>14.3e}")
+    lines.append("(resolution independence justifies the Table V extrapolation;")
+    lines.append(" small grids carry relatively more interpreter overhead)")
+    save_artifact("grind_resolution_independence", "\n".join(lines))
+    # within a factor ~6 across a 20x problem-size range (numpy overhead
+    # dominates the smallest grid; the trend must be flat-to-decreasing)
+    vals = list(grinds.values())
+    assert max(vals) / min(vals) < 8.0
+    assert vals[-1] <= vals[0]  # bigger grids amortize overhead
+
+
+def test_platform_schedule_artifact(benchmark, save_artifact):
+    """§VIII: choose the platform per simulation requirement."""
+
+    def build():
+        parts = []
+        for cfg_name, target in (("km_1km", 1.0), ("eddy_10km", 5.0),
+                                 ("coarse_100km", 100.0)):
+            cfg = PAPER_CONFIGS[cfg_name]
+            parts.append(format_schedule(
+                cfg,
+                {"orise": 16000, "new_sunway": 590250, "gpu_workstation": 64},
+                target))
+        return "\n\n".join(parts)
+
+    text = benchmark(build)
+    save_artifact("section8_platform_schedule", text)
+    assert "chosen" in text

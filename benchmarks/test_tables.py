@@ -1,0 +1,40 @@
+"""Tables I-IV regenerators (static registries + grid construction cost)."""
+
+from repro.experiments import tables
+from repro.ocean import demo, make_grid, make_topography
+
+
+def test_table1_support_matrix(benchmark, save_artifact):
+    text = benchmark(tables.format_table1)
+    assert "Athread" in text
+    save_artifact("table1_support_matrix", text)
+
+
+def test_table2_hardware(benchmark, save_artifact):
+    text = benchmark(tables.format_table2)
+    assert "SW26010" in text
+    save_artifact("table2_hardware", text)
+
+
+def test_table3_configurations(benchmark, save_artifact):
+    text = benchmark(tables.format_table3)
+    assert "36000" in text
+    save_artifact("table3_configurations", text)
+
+
+def test_table4_weak_scaling_scales(benchmark, save_artifact):
+    text = benchmark(tables.format_table4)
+    assert "38366250" in text
+    save_artifact("table4_weak_scaling_scales", text)
+
+
+def test_grid_and_topography_construction(benchmark):
+    """Cost of building a full demo grid + synthetic topography."""
+    cfg = demo("medium")
+
+    def build():
+        grid = make_grid(cfg.ny, cfg.nx, cfg.nz)
+        return make_topography(grid)
+
+    topo = benchmark(build)
+    assert topo.ocean_fraction > 0.4

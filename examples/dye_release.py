@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Passive dye in the wind-driven circulation (shape preservation live).
+
+Releases a unit dye blob into the subtropical gyre and integrates.  The
+two-step shape-preserving advection guarantees the dye never leaves
+[0, 1] — the property the paper's scheme (Yu 1994) exists to provide —
+while the circulation stirs it.  Prints dye statistics over time and an
+ASCII map of the final column-maximum dye field.
+
+Usage:  python examples/dye_release.py [days]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.ocean import LICOMKpp, ModelParams, demo
+
+
+def ascii_map(field: np.ndarray, width: int = 72) -> str:
+    chars = " .:-=+*#%@"
+    ny, nx = field.shape
+    sx = max(1, nx // width)
+    sy = max(1, 2 * sx)
+    vmax = max(np.nanmax(field), 1e-12)
+    rows = []
+    for j in range(ny - 1, -1, -sy):
+        rows.append("".join(
+            chars[min(int(field[j, i] / vmax * (len(chars) - 1)), len(chars) - 1)]
+            if np.isfinite(field[j, i]) else " "
+            for i in range(0, nx, sx)))
+    return "\n".join(rows)
+
+
+def main(days: float = 8.0) -> None:
+    model = LICOMKpp(demo("small"), params=ModelParams(n_passive=1))
+    model.release_dye(0, lon=200.0, lat=25.0, radius_deg=12.0)
+
+    steps_per_day = model.config.steps_per_day
+    print(f"{'day':>5s} {'min':>10s} {'max':>10s} {'cells>1e-3':>11s}")
+    for day in range(int(days) + 1):
+        if day:
+            model.run_steps(steps_per_day)
+        dye = model.state.passive[0].cur.raw
+        print(f"{day:>5d} {dye.min():>10.2e} {dye.max():>10.4f} "
+              f"{(dye > 1e-3).sum():>11d}")
+        assert dye.min() >= -1e-12 and dye.max() <= 1.0 + 1e-12, \
+            "shape preservation violated!"
+
+    h = model.domain.halo
+    surface = model.state.passive[0].cur.raw.max(axis=0)[h:-h, h:-h]
+    land = model.local_interior(model.domain.mask_t)[0] == 0
+    surface = np.where(land, np.nan, surface)
+    print(f"\ncolumn-maximum dye after {days:.0f} days "
+          "(the blob stirred by the gyre):")
+    print(ascii_map(surface))
+    print("\ndye stayed strictly inside [0, 1] the whole run — the "
+          "two-step shape-preserving scheme at work")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 8.0)

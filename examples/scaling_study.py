@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the paper's scaling evaluation (Figs 7-9, Table V, §VIII).
+
+Prints every performance table of the evaluation section from the
+calibrated machine model, side by side with the paper's numbers, and
+finishes with the anchor-validation report that backs EXPERIMENTS.md.
+
+Usage:  python examples/scaling_study.py
+"""
+
+from repro.experiments import performance
+from repro.perfmodel.calibration import validation_report
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Fig. 7 - single-node portability at 100 km (SYPD)")
+    print("=" * 72)
+    print(performance.format_fig7())
+
+    print()
+    print("=" * 72)
+    print("Table V / Fig. 8 - strong scaling")
+    print("=" * 72)
+    print(performance.format_table5())
+
+    print()
+    print("=" * 72)
+    print("Fig. 9 - weak scaling (Table IV problem sizes)")
+    print("=" * 72)
+    print(performance.format_fig9())
+
+    print()
+    print("=" * 72)
+    print("SViii - optimized vs original on near-full Sunway")
+    print("=" * 72)
+    print(performance.format_optimizations())
+
+    print()
+    print("=" * 72)
+    print("calibration anchors: paper vs model")
+    print("=" * 72)
+    print(validation_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — a reproduction of LICOMK++ (SC'24).
+
+A performance-portable, kilometer-scale-capable global ocean general
+circulation model in Python, together with the substrates the paper
+depends on:
+
+* :mod:`repro.kokkos` — the Kokkos-like portability layer with the
+  paper's Athread (Sunway) backend built on functor registration.
+* :mod:`repro.ocean` — the LICOM-like OGCM (tripolar Arakawa-B grid,
+  split-explicit leapfrog, two-step shape-preserving tracer advection,
+  Canuto vertical mixing).
+* :mod:`repro.parallel` — a deterministic in-process MPI, 2-D block
+  decomposition, 2-D/3-D halo updates and the paper's halo/transpose/
+  load-balance optimizations.
+* :mod:`repro.perfmodel` — the machine model (GPU workstation, ORISE,
+  new Sunway, Taishan) that regenerates every table and figure of the
+  paper's evaluation from instrumented kernel counts.
+* :mod:`repro.experiments` — one driver per table/figure.
+"""
+
+from . import errors, timing
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "timing", "__version__"]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Integrate the model: ``python -m repro run --size small --days 5
+    --backend athread [--precision single] [--restart-out file.npz]``.
+``experiments``
+    Regenerate a paper artifact: ``python -m repro experiments fig7``
+    (any of table1..table5, fig1, fig2, fig6, fig7, fig8, fig9,
+    ablations, validation, all).
+``info``
+    Print the machine registry and the paper configurations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .ocean import LICOMKpp, ModelParams, demo, rossby_stats, sst_stats
+    from .ocean.restart import load_restart, save_restart
+
+    cfg = demo(args.size, full_depth=args.full_depth)
+    params = ModelParams(precision=args.precision)
+    model = LICOMKpp(cfg, backend=args.backend, params=params)
+    if args.restart_in:
+        load_restart(model, args.restart_in)
+        print(f"restarted from {args.restart_in} at step {model.nstep}")
+    print(f"running {cfg.name} ({cfg.nx}x{cfg.ny}x{cfg.nz}) on "
+          f"{args.backend} for {args.days} days...")
+    model.run_days(args.days)
+    s = sst_stats(model)
+    ro = rossby_stats(model)
+    print(f"day {model.time_seconds / 86400:.1f}: "
+          f"SST {s.min:.2f}..{s.max:.2f} C (gradient {s.meridional_gradient:.1f}), "
+          f"KE {model.kinetic_energy():.3e}, rms|Ro| {ro.rms:.2e}")
+    if args.timers:
+        print(model.timers.report())
+    if args.restart_out:
+        path = save_restart(model, args.restart_out)
+        print(f"restart written to {path}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import ablations, performance, science, tables
+
+    producers = {
+        "table1": tables.format_table1,
+        "table2": tables.format_table2,
+        "table3": tables.format_table3,
+        "table4": tables.format_table4,
+        "table5": performance.format_table5,
+        "fig2": performance.format_fig2,
+        "fig7": performance.format_fig7,
+        "fig8": performance.format_table5,
+        "fig9": performance.format_fig9,
+        "ablations": lambda: "\n\n".join([
+            ablations.format_loadbalance(ablations.loadbalance_study("tiny", (4, 16))),
+            ablations.format_halo_ablation(),
+            ablations.format_registry_ablation(),
+            performance.format_optimizations(),
+        ]),
+        "fig1": lambda: science.format_fig1(science.run_fig1("tiny", days=2.0)),
+        "fig6": lambda: science.format_fig6(
+            science.run_fig6(sizes=("tiny", "small"), days=3.0)),
+    }
+
+    def validation() -> str:
+        from .perfmodel.calibration import validation_report
+
+        return validation_report()
+
+    def breakdown() -> str:
+        from .ocean.config import PAPER_CONFIGS
+        from .perfmodel import format_breakdown_table
+
+        return format_breakdown_table(
+            PAPER_CONFIGS["km_1km"],
+            [("orise", 16000), ("new_sunway", 590250)])
+
+    def schedule() -> str:
+        from .ocean.config import PAPER_CONFIGS
+        from .perfmodel import format_schedule
+
+        return format_schedule(
+            PAPER_CONFIGS["km_1km"],
+            {"orise": 16000, "new_sunway": 590250, "gpu_workstation": 64},
+            1.0)
+
+    producers["validation"] = validation
+    producers["breakdown"] = breakdown
+    producers["schedule"] = schedule
+
+    if args.which == "all":
+        for name, fn in producers.items():
+            print(f"\n===== {name} =====")
+            print(fn())
+        return 0
+    if args.which not in producers:
+        print(f"unknown artifact {args.which!r}; choose from "
+              f"{sorted(producers) + ['all']}", file=sys.stderr)
+        return 2
+    print(producers[args.which]())
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .experiments import tables
+    from .ocean.config import PAPER_CONFIGS
+
+    print(tables.format_table2())
+    print()
+    print(tables.format_table3())
+    print()
+    total = PAPER_CONFIGS["km_1km"].grid_points
+    print(f"1-km configuration: {total:,} grid points "
+          f"(the paper's '> 63 billion')")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LICOMK++ reproduction: run the model, regenerate the paper",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="integrate the ocean model")
+    run.add_argument("--size", default="small",
+                     choices=["tiny", "small", "medium", "large"])
+    run.add_argument("--days", type=float, default=5.0)
+    run.add_argument("--backend", default="serial",
+                     choices=["serial", "openmp", "athread", "cuda", "hip"])
+    run.add_argument("--precision", default="double",
+                     choices=["double", "single"])
+    run.add_argument("--full-depth", action="store_true",
+                     help="full-depth (Mariana-capable) configuration")
+    run.add_argument("--timers", action="store_true", help="print GPTL timers")
+    run.add_argument("--restart-in", default=None, help="restart file to resume")
+    run.add_argument("--restart-out", default=None, help="write a restart file")
+    run.set_defaults(func=_cmd_run)
+
+    exp = sub.add_parser("experiments", help="regenerate a paper artifact")
+    exp.add_argument("which", help="table1..table5, fig1/2/6/7/8/9, "
+                                   "ablations, validation, breakdown, "
+                                   "schedule, all")
+    exp.set_defaults(func=_cmd_experiments)
+
+    info = sub.add_parser("info", help="machines and configurations")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class KokkosError(ReproError):
+    """Base class for errors raised by the portability layer."""
+
+
+class NotInitializedError(KokkosError):
+    """An operation required ``kokkos.initialize()`` to have been called."""
+
+
+class BackendError(KokkosError):
+    """A backend could not execute the requested operation."""
+
+
+class RegistrationError(KokkosError):
+    """Functor registration / lookup failed (Athread dispatch path)."""
+
+
+class MemorySpaceError(KokkosError):
+    """An operation mixed incompatible memory spaces."""
+
+
+class LDMError(KokkosError):
+    """Local Data Memory (LDM) capacity or allocation failure."""
+
+
+class OceanError(ReproError):
+    """Base class for errors raised by the ocean model."""
+
+
+class ConfigurationError(OceanError):
+    """An invalid model configuration was requested."""
+
+
+class StabilityError(OceanError):
+    """The integration became numerically unstable (NaN / CFL blow-up)."""
+
+
+class ParallelError(ReproError):
+    """Base class for errors from the simulated-MPI substrate."""
+
+
+class DecompositionError(ParallelError):
+    """A domain decomposition was infeasible or inconsistent."""
+
+
+class CommunicationError(ParallelError):
+    """A simulated-MPI communication call was used incorrectly."""
+
+
+class PerfModelError(ReproError):
+    """Base class for errors from the machine performance model."""
+
+
+class UnknownMachineError(PerfModelError):
+    """An unknown machine name was requested from the registry."""

@@ -1,0 +1,165 @@
+"""Regenerators for the performance figures: Fig. 2, 7, 8/Table V, 9.
+
+These drive :mod:`repro.perfmodel` over exactly the sweeps the paper
+reports and render the same rows/series.  Paper values are carried
+alongside so every output is a paper-vs-model comparison (the data
+behind EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..ocean.config import PAPER_CONFIGS, WEAK_SCALING_CONFIGS
+from ..perfmodel.calibration import FIG7_ANCHORS, STRONG_ANCHORS, WEAK_ANCHORS, weak_cases
+from ..perfmodel.related_work import RELATED_WORK, kilometer_scale_realistic_leaders
+from ..perfmodel.scaling import (
+    ScalingPoint,
+    optimization_speedup,
+    portability_sypd,
+    strong_scaling,
+    weak_scaling,
+)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — related-work landscape
+# ---------------------------------------------------------------------------
+
+def fig2_series() -> List[Tuple[str, float, float, bool]]:
+    """(label, resolution_km, sypd, is_this_work) scatter points."""
+    return [
+        (f"{p.name} ({p.year}, {p.system})", p.resolution_km, p.sypd, p.this_work)
+        for p in RELATED_WORK
+    ]
+
+
+def format_fig2() -> str:
+    lines = [f"{'System':<48s} {'res[km]':>8s} {'SYPD':>7s}"]
+    for label, res, sypd, ours in fig2_series():
+        mark = "  <== this work" if ours else ""
+        lines.append(f"{label:<48s} {res:>8.3f} {sypd:>7.3f}{mark}")
+    leaders = kilometer_scale_realistic_leaders()
+    lines.append(
+        f"\nrealistic global ocean models at <=1.2 km: "
+        f"{', '.join(sorted(set(p.name for p in leaders)))}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — single-node portability
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PortabilityRow:
+    machine: str
+    kokkos_sypd: float
+    fortran_sypd: float
+    speedup: float
+    paper_kokkos: float
+    paper_speedup: float
+
+
+def fig7_rows() -> List[PortabilityRow]:
+    cfg = PAPER_CONFIGS["coarse_100km"]
+    paper_speedups = {
+        "gpu_workstation": 7.08, "orise": 11.42,
+        "new_sunway": 11.45, "taishan": 1.03,
+    }
+    rows = []
+    for name, (paper_k, _paper_f) in FIG7_ANCHORS.items():
+        k, f, sp = portability_sypd(cfg, name)
+        rows.append(PortabilityRow(name, k, f, sp, paper_k, paper_speedups[name]))
+    return rows
+
+
+def format_fig7() -> str:
+    lines = [
+        f"{'platform':<16s} {'LICOMK++':>10s} {'LICOM3':>8s} {'speedup':>8s} "
+        f"{'paper':>10s} {'paper x':>8s}"
+    ]
+    for r in fig7_rows():
+        lines.append(
+            f"{r.machine:<16s} {r.kokkos_sypd:>10.2f} {r.fortran_sypd:>8.2f} "
+            f"{r.speedup:>8.2f} {r.paper_kokkos:>10.2f} {r.paper_speedup:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / Table V — strong scaling
+# ---------------------------------------------------------------------------
+
+def table5_sweeps() -> Dict[Tuple[str, str], Tuple[List[ScalingPoint], Tuple[float, ...]]]:
+    """All six Table V sweeps: (machine, config) -> (model rows, paper SYPD)."""
+    out: Dict[Tuple[str, str], Tuple[List[ScalingPoint], Tuple[float, ...]]] = {}
+    for machine, curves in STRONG_ANCHORS.items():
+        for cfg_name, units, paper in curves:
+            rows = strong_scaling(PAPER_CONFIGS[cfg_name], machine, list(units))
+            out[(machine, cfg_name)] = (rows, paper)
+    return out
+
+
+def format_table5() -> str:
+    lines = []
+    for (machine, cfg_name), (rows, paper) in table5_sweeps().items():
+        lines.append(f"-- {cfg_name} on {machine}")
+        lines.append(
+            f"   {'units':>8s} {'cores':>10s} {'SYPD':>8s} {'eff':>7s} "
+            f"{'paper SYPD':>11s} {'paper eff':>10s}"
+        )
+        p0, u0 = paper[0], rows[0].units
+        for r, p in zip(rows, paper):
+            paper_eff = (p / p0) / (r.units / u0)
+            lines.append(
+                f"   {r.units:>8d} {r.cores:>10d} {r.sypd:>8.3f} "
+                f"{r.efficiency * 100:>6.1f}% {p:>11.3f} {paper_eff * 100:>9.1f}%"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — weak scaling
+# ---------------------------------------------------------------------------
+
+def fig9_series(machine: str) -> List[ScalingPoint]:
+    return weak_scaling(machine, weak_cases(machine))
+
+
+def format_fig9() -> str:
+    lines = []
+    for machine, paper_final in WEAK_ANCHORS.items():
+        rows = fig9_series(machine)
+        lines.append(f"-- weak scaling on {machine} (paper final eff "
+                     f"{paper_final * 100:.1f}%)")
+        for (cfg, _), r in zip(weak_cases(machine), rows):
+            lines.append(
+                f"   {cfg.resolution_km:>6.2f} km on {r.units:>7d} units "
+                f"({r.cores:>10d} cores): eff {r.efficiency * 100:>6.1f}%"
+            )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# §VIII optimized-vs-original (2.7x / 3.9x)
+# ---------------------------------------------------------------------------
+
+def optimization_rows() -> List[Tuple[str, float, float]]:
+    """(config, model speedup, paper speedup) on near-full Sunway."""
+    return [
+        ("km_1km",
+         optimization_speedup(PAPER_CONFIGS["km_1km"], "new_sunway", 590250),
+         3.9),
+        ("km_2km_fulldepth",
+         optimization_speedup(PAPER_CONFIGS["km_2km_fulldepth"], "new_sunway", 576000),
+         2.7),
+    ]
+
+
+def format_optimizations() -> str:
+    lines = [f"{'config':<20s} {'model x':>8s} {'paper x':>8s}"]
+    for name, model, paper in optimization_rows():
+        lines.append(f"{name:<20s} {model:>8.2f} {paper:>8.2f}")
+    return "\n".join(lines)

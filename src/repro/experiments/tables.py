@@ -1,0 +1,74 @@
+"""Regenerators for the paper's static tables (I, II, III, IV).
+
+Each function returns the table as structured rows and a ``format_*``
+companion renders the text table the paper prints.  The benchmark
+harness calls these so the artifacts land in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ocean.config import PAPER_CONFIGS, WEAK_SCALING_CONFIGS, ModelConfig
+from ..perfmodel.machines import MACHINES, support_matrix_rows
+
+
+def table1_rows() -> Tuple[Tuple[str, str, str], ...]:
+    """Table I: architecture / programming model / Kokkos support."""
+    return support_matrix_rows()
+
+
+def format_table1() -> str:
+    lines = [f"{'Architecture':<20s} {'Programming model':<18s} {'Kokkos'}"]
+    for arch, model, kokkos in table1_rows():
+        lines.append(f"{arch:<20s} {model:<18s} {kokkos}")
+    return "\n".join(lines)
+
+
+def table2_rows() -> List[Tuple[str, str, str]]:
+    """Table II: the four systems' node configurations."""
+    return [
+        (m.name, m.description, m.programming_model) for m in MACHINES.values()
+    ]
+
+
+def format_table2() -> str:
+    lines = [f"{'System':<16s} {'Back-end':<8s} Node"]
+    for name, desc, model in table2_rows():
+        lines.append(f"{name:<16s} {model:<8s} {desc}")
+    return "\n".join(lines)
+
+
+def table3_rows() -> List[ModelConfig]:
+    """Table III: the four LICOMK++ configurations."""
+    return list(PAPER_CONFIGS.values())
+
+
+def format_table3() -> str:
+    lines = [
+        f"{'Config':<18s} {'Res[km]':>8s} {'Horizontal':>14s} {'Levels':>7s} "
+        f"{'dt barot/baroc/tracer [s]':>26s}"
+    ]
+    for c in table3_rows():
+        lines.append(
+            f"{c.name:<18s} {c.resolution_km:>8.0f} {c.nx:>7d}x{c.ny:<6d} "
+            f"{c.nz:>7d} {c.dt_barotropic:>8.0f}/{c.dt_baroclinic:.0f}/{c.dt_tracer:.0f}"
+        )
+    return "\n".join(lines)
+
+
+def table4_rows() -> List[Tuple[ModelConfig, int, int]]:
+    """Table IV: six weak-scaling scales with paper resource counts."""
+    return list(WEAK_SCALING_CONFIGS)
+
+
+def format_table4() -> str:
+    lines = [
+        f"{'Resolution':<12s} {'Grid points':>22s} {'HIP GPUs':>9s} {'Sunway cores':>13s}"
+    ]
+    for cfg, gpus, cores in table4_rows():
+        lines.append(
+            f"{cfg.resolution_km:>7.2f} km  {cfg.nx:>7d}x{cfg.ny:<6d}x{cfg.nz:<3d} "
+            f"{gpus:>9d} {cores:>13d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Execution-space backends (Table I of the paper)."""
+
+from .base import ExecutionSpace, Max, Min, Prod, Reducer, Sum
+from .serial import SerialBackend
+from .openmp import OpenMPBackend
+from .athread import SW26010_CPES_PER_CG, AthreadBackend
+from .device import DeviceBackend
+
+__all__ = [
+    "ExecutionSpace",
+    "Reducer",
+    "Sum",
+    "Prod",
+    "Min",
+    "Max",
+    "SerialBackend",
+    "OpenMPBackend",
+    "AthreadBackend",
+    "SW26010_CPES_PER_CG",
+    "DeviceBackend",
+    "make_backend",
+]
+
+
+def make_backend(name: str, **kwargs) -> ExecutionSpace:
+    """Construct a backend by name.
+
+    Accepted names: ``serial``, ``openmp``, ``athread``, ``cuda``,
+    ``hip`` (case-insensitive).
+    """
+    key = name.lower()
+    if key == "serial":
+        return SerialBackend(**kwargs)
+    if key == "openmp":
+        return OpenMPBackend(**kwargs)
+    if key == "athread":
+        return AthreadBackend(**kwargs)
+    if key in ("cuda", "hip"):
+        return DeviceBackend(kind=key, **kwargs)
+    if key == "device":
+        return DeviceBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of serial/openmp/athread/cuda/hip"
+    )

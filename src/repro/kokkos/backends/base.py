@@ -1,0 +1,161 @@
+"""Execution-space interface and reduction operators.
+
+An :class:`ExecutionSpace` is where kernels run.  The library ships four,
+matching Table I of the paper (the intranode programming models of every
+major TOP500 architecture):
+
+==================  =======================  =============================
+Backend             Paper programming model  Module
+==================  =======================  =============================
+``serial``          (reference)              :mod:`.serial`
+``openmp``          OpenMP (ARM / x86 CPUs)  :mod:`.openmp`
+``athread``         Athread (Sunway CPEs)    :mod:`.athread` (this work)
+``cuda`` / ``hip``  CUDA / HIP (GPUs)        :mod:`.device`
+==================  =======================  =============================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import BackendError
+from ..instrument import Instrumentation, get_instrumentation
+from ..policy import MDRangePolicy, as_md
+from ..spaces import HostSpace, MemorySpace
+from ..view import View
+
+
+class Reducer:
+    """A reduction operator: identity element + combine functions."""
+
+    def __init__(self, name: str, identity, combine: Callable, np_reduce: Callable):
+        self.name = name
+        self.identity = identity
+        self.combine = combine
+        self.np_reduce = np_reduce
+
+    def reduce_array(self, arr) -> float:
+        """Reduce a NumPy array (vectorised partial reductions)."""
+        arr = np.asarray(arr)
+        if arr.size == 0:
+            return self.identity
+        return self.np_reduce(arr)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Reducer({self.name})"
+
+
+Sum = Reducer("Sum", 0.0, lambda a, b: a + b, np.sum)
+Prod = Reducer("Prod", 1.0, lambda a, b: a * b, np.prod)
+Min = Reducer("Min", np.inf, min, np.min)
+Max = Reducer("Max", -np.inf, max, np.max)
+
+
+def functor_views(functor) -> Tuple[View, ...]:
+    """All :class:`View` attributes held by a functor instance."""
+    found = []
+    for value in vars(functor).values():
+        if isinstance(value, View):
+            found.append(value)
+        elif isinstance(value, (list, tuple)):
+            found.extend(v for v in value if isinstance(v, View))
+    return tuple(found)
+
+
+def functor_cost(functor) -> Tuple[float, float]:
+    """(flops_per_point, bytes_per_point) declared by a functor."""
+    flops = float(getattr(functor, "flops_per_point", 0.0))
+    nbytes = float(getattr(functor, "bytes_per_point", 8.0))
+    return flops, nbytes
+
+
+class ExecutionSpace:
+    """Base class for execution spaces (backends)."""
+
+    #: Backend identifier, e.g. ``"athread"``.
+    name: str = "abstract"
+    #: Intranode programming model the backend stands in for.
+    programming_model: str = "n/a"
+    #: Degree of parallelism the backend models.
+    concurrency: int = 1
+    #: Where this space wants its views allocated.
+    memory_space: MemorySpace = HostSpace
+
+    def __init__(self, inst: Optional[Instrumentation] = None) -> None:
+        self.inst = get_instrumentation(inst)
+
+    # -- required API ------------------------------------------------------
+
+    def run_for(self, label: str, policy: MDRangePolicy, functor) -> None:
+        raise NotImplementedError
+
+    def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
+        raise NotImplementedError
+
+    def fence(self) -> None:
+        """Wait for all outstanding work (no-op for synchronous backends)."""
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _record(self, label: str, policy: MDRangePolicy, functor, tiles: int = 1) -> None:
+        flops, nbytes = functor_cost(functor)
+        self.inst.record_launch(
+            label,
+            points=policy.size,
+            tiles=tiles,
+            flops_per_point=flops,
+            bytes_per_point=nbytes,
+        )
+
+    @staticmethod
+    def _full_slices(policy: MDRangePolicy) -> Tuple[slice, ...]:
+        return tuple(slice(b, e) for b, e in policy.ranges)
+
+    def parallel_for(self, label: str, policy, functor) -> None:
+        """Execute ``functor`` over ``policy`` (normalised)."""
+        self.run_for(label, as_md(policy), functor)
+
+    def parallel_reduce(self, label: str, policy, functor, reducer: Reducer = Sum):
+        """Reduce ``functor`` contributions over ``policy``."""
+        return self.run_reduce(label, as_md(policy), functor, reducer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(concurrency={self.concurrency})"
+
+
+def apply_tile(functor, slices: Sequence[slice]) -> None:
+    """Run a functor over one tile, preferring the vectorised body."""
+    apply = getattr(functor, "apply", None)
+    if apply is not None:
+        apply(tuple(slices))
+        return
+    from ..functor import _loop_elementwise
+
+    _loop_elementwise(functor, slices)
+
+
+def reduce_tile(functor, slices: Sequence[slice], reducer: Reducer):
+    """Reduce a functor over one tile, preferring the vectorised body."""
+    reduce_apply = getattr(functor, "reduce_apply", None)
+    if reduce_apply is not None:
+        return reduce_apply(tuple(slices))
+    from ..functor import _iter_indices
+
+    acc = reducer.identity
+    point = getattr(functor, "reduce", functor)
+    for idx in _iter_indices(slices):
+        acc = reducer.combine(acc, point(*idx))
+    return acc
+
+
+def check_host_views(functor, backend_name: str) -> None:
+    """Host backends refuse device-resident views (Kokkos access rules)."""
+    bad = [v.label for v in functor_views(functor) if not v.space.host_accessible]
+    if bad:
+        raise BackendError(
+            f"backend {backend_name!r} executes in host space but functor "
+            f"{type(functor).__name__} holds device views: {bad}; "
+            "deep_copy them to host mirrors first"
+        )

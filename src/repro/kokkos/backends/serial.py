@@ -1,0 +1,39 @@
+"""Serial reference backend.
+
+Executes every kernel as one tile covering the whole range.  It is the
+semantics oracle: every other backend must produce results identical to
+Serial (the test suite enforces this), mirroring how Kokkos' Serial space
+anchors correctness across devices.
+"""
+
+from __future__ import annotations
+
+from ..policy import MDRangePolicy
+from .base import (
+    ExecutionSpace,
+    Reducer,
+    apply_tile,
+    check_host_views,
+    reduce_tile,
+)
+
+
+class SerialBackend(ExecutionSpace):
+    """Single-threaded host execution."""
+
+    name = "serial"
+    programming_model = "none"
+    concurrency = 1
+
+    def run_for(self, label: str, policy: MDRangePolicy, functor) -> None:
+        check_host_views(functor, self.name)
+        apply_tile(functor, self._full_slices(policy))
+        self._record(label, policy, functor, tiles=1)
+
+    def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
+        check_host_views(functor, self.name)
+        result = reduce_tile(functor, self._full_slices(policy), reducer)
+        self._record(label, policy, functor, tiles=1)
+        if result is None:
+            result = reducer.identity
+        return result

@@ -1,0 +1,119 @@
+"""``DualView``: paired host/device views with modify/sync tracking.
+
+Kokkos' ``DualView`` is the standard tool for data that lives on both
+sides of a host/device boundary — exactly the situation LICOMK++'s halo
+buffers are in on ORISE (no GPU-aware MPI, §V-D).  The semantics
+reproduced here:
+
+* ``view_host()`` / ``view_device()`` expose the two allocations;
+* after writing one side, call ``modify_host()`` / ``modify_device()``;
+* ``sync_host()`` / ``sync_device()`` copy only when the other side is
+  newer (no-ops otherwise), recording transfer traffic in the ledger;
+* syncing away a modification the other side also made raises — the
+  same both-sides-modified error Kokkos aborts on.
+
+On unified-memory machines (Sunway) a DualView degenerates to a single
+allocation and syncs are free, which is why the paper needs no device
+memory space there (§V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MemorySpaceError
+from .instrument import Instrumentation
+from .spaces import DeviceSpace, HostSpace, Layout, LayoutRight, MemorySpace
+from .view import View, deep_copy
+
+
+class DualView:
+    """A host/device pair with explicit modify/sync bookkeeping."""
+
+    def __init__(
+        self,
+        label: str,
+        shape,
+        dtype=float,
+        layout: Layout = LayoutRight,
+        device_space: MemorySpace = DeviceSpace,
+        unified: bool = False,
+        inst: Optional[Instrumentation] = None,
+    ) -> None:
+        self.label = label
+        self.unified = unified
+        self.inst = inst
+        self._host = View(f"{label}_h", shape, dtype=dtype, layout=layout,
+                          space=HostSpace)
+        if unified:
+            # one allocation, two names (the Sunway case)
+            self._device = self._host
+        else:
+            self._device = View(f"{label}_d", shape, dtype=dtype, layout=layout,
+                                space=device_space)
+        self._host_dirty = False
+        self._device_dirty = False
+
+    # -- access --------------------------------------------------------------
+
+    def view_host(self) -> View:
+        return self._host
+
+    def view_device(self) -> View:
+        return self._device
+
+    @property
+    def shape(self):
+        return self._host.shape
+
+    # -- modify flags ----------------------------------------------------------
+
+    def modify_host(self) -> None:
+        """Declare that the host copy has been written."""
+        self._host_dirty = True
+
+    def modify_device(self) -> None:
+        """Declare that the device copy has been written."""
+        self._device_dirty = True
+
+    def need_sync_host(self) -> bool:
+        return self._device_dirty and not self.unified
+
+    def need_sync_device(self) -> bool:
+        return self._host_dirty and not self.unified
+
+    def _check_conflict(self) -> None:
+        if self._host_dirty and self._device_dirty and not self.unified:
+            raise MemorySpaceError(
+                f"DualView {self.label!r}: both sides modified since the "
+                "last sync; the newer copy is ambiguous"
+            )
+
+    # -- sync ---------------------------------------------------------------
+
+    def sync_host(self) -> bool:
+        """Bring the host copy up to date.  Returns True if a copy ran."""
+        self._check_conflict()
+        if not self.need_sync_host():
+            self._device_dirty = False
+            return False
+        deep_copy(self._host, self._device, inst=self.inst)
+        self._device_dirty = False
+        return True
+
+    def sync_device(self) -> bool:
+        """Bring the device copy up to date.  Returns True if a copy ran."""
+        self._check_conflict()
+        if not self.need_sync_device():
+            self._host_dirty = False
+            return False
+        deep_copy(self._device, self._host, inst=self.inst)
+        self._host_dirty = False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DualView({self.label!r}, shape={self.shape}, "
+            f"unified={self.unified}, h_dirty={self._host_dirty}, "
+            f"d_dirty={self._device_dirty})"
+        )

@@ -1,0 +1,136 @@
+"""Per-kernel instrumentation counters.
+
+The paper gathers floating-point statistics with a "job-level performance
+monitoring and analysis toolchain" on the new Sunway system (§VI-C).  This
+module is the analog: every backend records, per kernel label, the number
+of launches, tiles executed, grid points visited, declared floating-point
+operations and bytes moved, plus a process-wide transfer ledger for
+host<->device copies (heterogeneous daily memory copies are part of the
+timed region in the paper) and Athread DMA traffic.
+
+These measured counts are what the machine performance model
+(:mod:`repro.perfmodel`) multiplies by hardware specs to predict kernel
+times on the paper's four systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class KernelStats:
+    """Accumulated execution statistics for one kernel label."""
+
+    label: str
+    launches: int = 0
+    tiles: int = 0
+    points: int = 0
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte moved (0 when no bytes were recorded)."""
+        return self.flops / self.bytes if self.bytes else 0.0
+
+
+@dataclass
+class TransferLedger:
+    """Bytes moved across memory-space boundaries."""
+
+    h2d_bytes: float = 0.0
+    h2d_count: int = 0
+    d2h_bytes: float = 0.0
+    d2h_count: int = 0
+    dma_bytes: float = 0.0
+    dma_count: int = 0
+
+    def record_h2d(self, nbytes: float) -> None:
+        self.h2d_bytes += nbytes
+        self.h2d_count += 1
+
+    def record_d2h(self, nbytes: float) -> None:
+        self.d2h_bytes += nbytes
+        self.d2h_count += 1
+
+    def record_dma(self, nbytes: float) -> None:
+        self.dma_bytes += nbytes
+        self.dma_count += 1
+
+
+@dataclass
+class Instrumentation:
+    """A container of kernel statistics and the transfer ledger."""
+
+    kernels: Dict[str, KernelStats] = field(default_factory=dict)
+    transfers: TransferLedger = field(default_factory=TransferLedger)
+    enabled: bool = True
+
+    def kernel(self, label: str) -> KernelStats:
+        """Get (creating if needed) the stats record for ``label``."""
+        stats = self.kernels.get(label)
+        if stats is None:
+            stats = self.kernels[label] = KernelStats(label)
+        return stats
+
+    def record_launch(
+        self,
+        label: str,
+        *,
+        points: int,
+        tiles: int = 1,
+        flops_per_point: float = 0.0,
+        bytes_per_point: float = 0.0,
+    ) -> None:
+        """Record one kernel launch touching ``points`` grid points."""
+        if not self.enabled:
+            return
+        stats = self.kernel(label)
+        stats.launches += 1
+        stats.tiles += tiles
+        stats.points += points
+        stats.flops += flops_per_point * points
+        stats.bytes += bytes_per_point * points
+
+    @property
+    def total_flops(self) -> float:
+        return sum(k.flops for k in self.kernels.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.bytes for k in self.kernels.values())
+
+    @property
+    def total_launches(self) -> int:
+        return sum(k.launches for k in self.kernels.values())
+
+    def reset(self) -> None:
+        """Clear all statistics (the ledger included)."""
+        self.kernels.clear()
+        self.transfers = TransferLedger()
+
+    def report(self) -> str:
+        """Render a text table of all kernels sorted by byte traffic."""
+        rows = sorted(self.kernels.values(), key=lambda k: -k.bytes)
+        lines = [
+            f"{'kernel':<40s} {'launches':>9s} {'points':>12s} "
+            f"{'Mflops':>10s} {'MB':>10s} {'AI':>7s}"
+        ]
+        for k in rows:
+            lines.append(
+                f"{k.label:<40s} {k.launches:>9d} {k.points:>12d} "
+                f"{k.flops / 1e6:>10.2f} {k.bytes / 1e6:>10.2f} "
+                f"{k.arithmetic_intensity:>7.3f}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide instrumentation used by default by all backends.
+GLOBAL_INSTRUMENTATION = Instrumentation()
+
+
+def get_instrumentation(inst: Optional[Instrumentation] = None) -> Instrumentation:
+    """Return ``inst`` or the process-wide default."""
+    return inst if inst is not None else GLOBAL_INSTRUMENTATION

@@ -1,0 +1,139 @@
+"""Top-level Kokkos-style API: initialize / parallel_for / parallel_reduce.
+
+This module owns the process default execution space, mirroring
+``Kokkos::initialize`` / ``Kokkos::DefaultExecutionSpace``.  Application
+code (the ocean model) calls these free functions and never names a
+backend, which is the whole point of performance portability: the same
+LICOMK++ source runs on Serial, OpenMP, Athread and CUDA/HIP by changing
+only the ``initialize`` argument.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import NotInitializedError
+from .backends import ExecutionSpace, Reducer, Sum, make_backend
+
+_default_space: Optional[ExecutionSpace] = None
+
+
+def initialize(backend: str = "serial", **kwargs) -> ExecutionSpace:
+    """Initialise the portability layer with a default execution space.
+
+    Idempotent in the sense that calling it again replaces the default
+    space (finalizing the previous one).
+    """
+    global _default_space
+    if _default_space is not None:
+        finalize()
+    _default_space = make_backend(backend, **kwargs)
+    return _default_space
+
+
+def finalize() -> None:
+    """Tear down the default execution space."""
+    global _default_space
+    if _default_space is not None:
+        shutdown = getattr(_default_space, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+        _default_space = None
+
+
+def is_initialized() -> bool:
+    return _default_space is not None
+
+
+def default_space() -> ExecutionSpace:
+    """The current default execution space.
+
+    Raises
+    ------
+    NotInitializedError
+        When :func:`initialize` has not been called.
+    """
+    if _default_space is None:
+        raise NotInitializedError(
+            "Kokkos layer not initialised; call repro.kokkos.initialize(...)"
+        )
+    return _default_space
+
+
+def set_default_space(space: ExecutionSpace) -> None:
+    """Install an already-constructed backend as the default space."""
+    global _default_space
+    _default_space = space
+
+
+@contextmanager
+def scoped_space(space: ExecutionSpace) -> Iterator[ExecutionSpace]:
+    """Temporarily swap the default execution space (for tests)."""
+    global _default_space
+    previous = _default_space
+    _default_space = space
+    try:
+        yield space
+    finally:
+        _default_space = previous
+
+
+def parallel_for(label: str, policy, functor, space: Optional[ExecutionSpace] = None) -> None:
+    """Execute ``functor`` in parallel over ``policy``.
+
+    Parameters
+    ----------
+    label:
+        Kernel name for profiling/instrumentation.
+    policy:
+        A :class:`~repro.kokkos.policy.RangePolicy`,
+        :class:`~repro.kokkos.policy.MDRangePolicy`, an integer 1-D
+        extent, or a sequence of ranges.
+    functor:
+        An object following the functor protocol.
+    space:
+        Execution space override; defaults to the initialised space.
+    """
+    target = space if space is not None else default_space()
+    target.parallel_for(label, policy, functor)
+
+
+def parallel_reduce(
+    label: str,
+    policy,
+    functor,
+    reducer: Reducer = Sum,
+    space: Optional[ExecutionSpace] = None,
+):
+    """Reduce ``functor`` contributions over ``policy`` with ``reducer``."""
+    target = space if space is not None else default_space()
+    return target.parallel_reduce(label, policy, functor, reducer)
+
+
+def parallel_scan(label: str, n: int, functor, space: Optional[ExecutionSpace] = None):
+    """Inclusive prefix scan over a 1-D range.
+
+    The functor is called as ``functor(i, partial, final)`` like Kokkos:
+    first a non-final sweep accumulating contributions, then a final
+    sweep where the running prefix is handed back.  Returns the total.
+    """
+    target = space if space is not None else default_space()
+    total = 0.0
+    for final in (False, True):
+        acc = 0.0
+        for i in range(n):
+            acc = functor(i, acc, final)
+        total = acc
+    # record as one launch (cost model treats scans as bandwidth-bound)
+    flops = float(getattr(functor, "flops_per_point", 1.0))
+    nbytes = float(getattr(functor, "bytes_per_point", 16.0))
+    target.inst.record_launch(label, points=n, tiles=1,
+                              flops_per_point=flops, bytes_per_point=nbytes)
+    return total
+
+
+def fence(space: Optional[ExecutionSpace] = None) -> None:
+    """Block until the (default) execution space is idle."""
+    target = space if space is not None else default_space()
+    target.fence()

@@ -1,0 +1,59 @@
+"""Memory spaces and layouts for the portability layer.
+
+Mirrors the Kokkos memory model described in the paper (§V-B *Memory
+Management*):
+
+* :class:`HostSpace` — ordinary host DRAM.  On Sunway, the MPE and CPEs
+  share this space ("similar to the unified memory used in CUDA-capable
+  GPUs"), so the Athread backend needs no separate device space.
+* :class:`DeviceSpace` — discrete accelerator memory (CUDA / HIP GPUs on
+  the GPU workstation and ORISE).  Host code must not dereference device
+  views directly; it must go through mirror views and ``deep_copy``.
+* :class:`LDMSpace` — the 256 kB per-CPE Local Data Memory of the
+  SW26010 Pro.  Not a general allocation target; used by the Athread
+  backend for scratch tiles (see :mod:`repro.kokkos.ldm`).
+
+Layouts follow Kokkos: ``LayoutRight`` (C order, stride-1 rightmost
+index) and ``LayoutLeft`` (Fortran order, stride-1 leftmost index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """A named memory space with an accessibility discipline."""
+
+    name: str
+    #: True when host code may dereference data living in this space.
+    host_accessible: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemorySpace({self.name})"
+
+
+HostSpace = MemorySpace("Host", host_accessible=True)
+DeviceSpace = MemorySpace("Device", host_accessible=False)
+LDMSpace = MemorySpace("LDM", host_accessible=False)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """An array memory layout (maps to a NumPy order character)."""
+
+    name: str
+    numpy_order: str  # "C" or "F"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Layout{self.name}"
+
+
+LayoutRight = Layout("Right", "C")
+LayoutLeft = Layout("Left", "F")
+
+#: Default layout per execution-space family, as in Kokkos: GPUs prefer
+#: LayoutLeft (coalesced along the parallel index), CPUs LayoutRight.
+DEFAULT_DEVICE_LAYOUT = LayoutLeft
+DEFAULT_HOST_LAYOUT = LayoutRight

@@ -1,0 +1,249 @@
+"""Scientific diagnostics: vorticity, Rossby number, spectra (Figs 1 & 6).
+
+The paper's science-result figures rest on two diagnostics:
+
+* the **Rossby number** ``Ro = zeta / f`` (vertical relative vorticity
+  over the local Coriolis parameter), whose distribution broadening
+  with resolution is the submesoscale signature of Fig. 6
+  (``|Ro| ~ O(1)`` marks active submesoscale motions), and
+* **SST structure** (Fig. 1): warm pool, meridional gradient, frontal
+  sharpness.
+
+All functions take a model (or raw fields + grid rows) and return plain
+arrays/statistics so the experiment drivers and tests can assert the
+paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .grid import OMEGA
+from .model import LICOMKpp
+
+
+def relative_vorticity(
+    u: np.ndarray,
+    v: np.ndarray,
+    dx_u: np.ndarray,
+    dy: float,
+) -> np.ndarray:
+    """Vertical relative vorticity zeta = dv/dx - du/dy at T points.
+
+    ``u``/``v`` are 2-D B-grid corner fields (one level, halo included);
+    the curl is evaluated on the cell centers from the four surrounding
+    corners.  Returns an array one point smaller on each high side.
+    """
+    dvdx = (v[:, 1:] - v[:, :-1]) / dx_u[:, None]
+    dudy = (u[1:, :] - u[:-1, :]) / dy
+    # average the two edge-centered differences to the T point
+    dvdx_t = 0.5 * (dvdx[1:, :] + dvdx[:-1, :])
+    dudy_t = 0.5 * (dudy[:, 1:] + dudy[:, :-1])
+    return dvdx_t - dudy_t
+
+
+def rossby_number(model: LICOMKpp, level: int = 0) -> np.ndarray:
+    """Surface (or ``level``) Rossby number field over the local interior.
+
+    Land points and the near-equatorial band (|f| too small for Ro to be
+    meaningful) are returned as NaN, like the white regions of Fig. 6.
+    """
+    d = model.domain
+    h = d.halo
+    u = model.state.u.cur.raw[level]
+    v = model.state.v.cur.raw[level]
+    zeta = relative_vorticity(u, v, d.dx_u, d.dy)  # (ly-1, lx-1) at T pts
+    # trim to the interior T cells
+    zeta_int = zeta[h - 1:d.ly - h - 1, h - 1:d.lx - h - 1]
+    f = d.f_t[h:d.ly - h]
+    lat = d.lat_t[h:d.ly - h]
+    ro = zeta_int / f[:, None]
+    mask = model.local_interior(d.mask_t)[level]
+    ro = np.where(mask > 0.0, ro, np.nan)
+    ro[np.abs(lat) < 5.0, :] = np.nan
+    return ro
+
+
+@dataclass
+class RossbyStats:
+    """Distribution summary of |Ro| (the Fig. 6 resolution comparison)."""
+
+    resolution_km: float
+    rms: float
+    p90: float
+    p99: float
+    max: float
+    submesoscale_fraction: float   # fraction of points with |Ro| > 0.1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "resolution_km": self.resolution_km,
+            "rms": self.rms,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.max,
+            "submesoscale_fraction": self.submesoscale_fraction,
+        }
+
+
+def rossby_stats(model: LICOMKpp, level: int = 0) -> RossbyStats:
+    """Summarise the |Ro| distribution of a run."""
+    ro = np.abs(rossby_number(model, level))
+    vals = ro[np.isfinite(ro)]
+    if vals.size == 0:
+        vals = np.zeros(1)
+    return RossbyStats(
+        resolution_km=model.grid.resolution_km,
+        rms=float(np.sqrt(np.mean(vals ** 2))),
+        p90=float(np.percentile(vals, 90)),
+        p99=float(np.percentile(vals, 99)),
+        max=float(vals.max()),
+        submesoscale_fraction=float(np.mean(vals > 0.1)),
+    )
+
+
+@dataclass
+class SSTStats:
+    """Fig. 1-style SST structure summary."""
+
+    min: float
+    max: float
+    mean: float
+    tropical_mean: float        # warm pool (|lat| < 15)
+    polar_mean: float           # |lat| > 60
+    meridional_gradient: float  # tropical - polar [C]
+    frontal_sharpness: float    # p99 of |grad SST| [C / 100 km]
+
+
+def sst_stats(model: LICOMKpp) -> SSTStats:
+    """SST structure diagnostics over the local interior."""
+    sst = model.sst()                     # NaN over land
+    d = model.domain
+    h = d.halo
+    lat = d.lat_t[h:d.ly - h]
+    tropical = np.abs(lat) < 15.0
+    polar = np.abs(lat) > 60.0
+
+    def nanmean(a) -> float:
+        return float(np.nanmean(a)) if np.isfinite(a).any() else float("nan")
+
+    dy_100km = d.dy / 1.0e5
+    dx_100km = d.dx_t[h:d.ly - h] / 1.0e5
+    gy = np.diff(sst, axis=0) / dy_100km
+    gx = np.diff(sst, axis=1) / dx_100km[:, None]
+    grads = np.concatenate([np.abs(gy).ravel(), np.abs(gx).ravel()])
+    grads = grads[np.isfinite(grads)]
+    return SSTStats(
+        min=float(np.nanmin(sst)),
+        max=float(np.nanmax(sst)),
+        mean=nanmean(sst),
+        tropical_mean=nanmean(sst[tropical, :]),
+        polar_mean=nanmean(sst[polar, :]),
+        meridional_gradient=nanmean(sst[tropical, :]) - nanmean(sst[polar, :]),
+        frontal_sharpness=float(np.percentile(grads, 99)) if grads.size else 0.0,
+    )
+
+
+def temperature_section(
+    model: LICOMKpp, lon_deg: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vertical temperature section along a meridian (Fig. 1f analog).
+
+    Returns ``(lat, z_t, T(lat, z))`` with land as NaN.
+    """
+    d = model.domain
+    h = d.halo
+    i = h + int(np.argmin(np.abs(model.grid.lon_t - lon_deg)))
+    t = model.state.t.cur.raw[:, h:d.ly - h, i].copy()
+    m = d.mask_t[:, h:d.ly - h, i]
+    t[m == 0.0] = np.nan
+    return d.lat_t[h:d.ly - h], d.z_t.copy(), t.T
+
+
+def meridional_overturning(model: LICOMKpp) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Meridional overturning streamfunction Psi(lat, z) in Sverdrups.
+
+    ``Psi(j, k) = -sum_{m<=k} sum_i v dz dx / 1e6`` — the standard MOC
+    diagnostic climate studies read off eddy-resolving runs.  Returns
+    ``(lat, z_w[1:], Psi)`` with ``Psi`` of shape (ny, nz).
+    """
+    d = model.domain
+    h = d.halo
+    v = model.state.v.cur.raw[:, h:d.ly - h, h:d.lx - h]
+    m = d.mask_u[:, h:d.ly - h, h:d.lx - h]
+    dx = d.dx_u[h:d.ly - h]
+    transport = (v * m) * dx[None, :, None] * d.dz[:, None, None]  # m^3/s
+    zonal = transport.sum(axis=2)                                  # (nz, ny)
+    psi = -np.cumsum(zonal, axis=0).T / 1.0e6                      # (ny, nz), Sv
+    return d.lat_t[h:d.ly - h].copy(), d.z_w[1:].copy(), psi
+
+
+def barotropic_streamfunction(model: LICOMKpp) -> np.ndarray:
+    """Barotropic streamfunction [Sv] over the local interior.
+
+    Integrates the depth-summed zonal transport northward from the
+    (closed) southern boundary: the classic gyre/ACC picture of Fig. 1's
+    circulation.  Shape (ny, nx), land as NaN.
+    """
+    d = model.domain
+    h = d.halo
+    u = model.state.u.cur.raw[:, h:d.ly - h, h:d.lx - h]
+    m = d.mask_u[:, h:d.ly - h, h:d.lx - h]
+    uz = ((u * m) * d.dz[:, None, None]).sum(axis=0)   # (ny, nx) m^2/s
+    psi = np.cumsum(uz * d.dy, axis=0) / 1.0e6          # Sv
+    land = d.mask_t[0, h:d.ly - h, h:d.lx - h] == 0.0
+    psi = np.where(land, np.nan, psi)
+    return psi
+
+
+def wind_power_input(model: LICOMKpp) -> float:
+    """Wind work on the surface flow, integrated over the domain [W].
+
+    ``P = integral(tau . u_surf) dA`` — the energy source of the
+    wind-driven circulation; at statistical equilibrium it balances the
+    viscous/drag dissipation (the energy-budget test checks the KE
+    tendency is small against it).
+    """
+    d = model.domain
+    h = d.halo
+    u = model.state.u.cur.raw[0, h:d.ly - h, h:d.lx - h]
+    v = model.state.v.cur.raw[0, h:d.ly - h, h:d.lx - h]
+    tx = model.taux[h:d.ly - h, h:d.lx - h]
+    ty = model.tauy[h:d.ly - h, h:d.lx - h]
+    m = d.mask_u[0, h:d.ly - h, h:d.lx - h]
+    area = (d.dx_u[h:d.ly - h] * d.dy)[:, None]
+    return float(np.sum((tx * u + ty * v) * m * area))
+
+
+def kinetic_energy_joules(model: LICOMKpp) -> float:
+    """Total kinetic energy of the resolved flow [J] (Boussinesq rho0)."""
+    from .eos import RHO0
+
+    d = model.domain
+    h = d.halo
+    u = model.state.u.cur.raw[:, h:d.ly - h, h:d.lx - h]
+    v = model.state.v.cur.raw[:, h:d.ly - h, h:d.lx - h]
+    m = d.mask_u[:, h:d.ly - h, h:d.lx - h]
+    vol = (d.dx_u[h:d.ly - h] * d.dy)[None, :, None] * d.dz[:, None, None]
+    return float(np.sum(0.5 * RHO0 * (u * u + v * v) * m * vol))
+
+
+def kinetic_energy_spectrum(model: LICOMKpp, level: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Zonal-wavenumber KE spectrum at one level, averaged over rows.
+
+    Returns ``(wavenumber, power)``; the resolution comparison of the
+    Fig. 6 analog checks that higher resolution adds small-scale power.
+    """
+    u = model.local_interior(model.state.u.cur.raw[level])
+    v = model.local_interior(model.state.v.cur.raw[level])
+    m = model.local_interior(model.domain.mask_u[level])
+    uu = np.where(m > 0.0, u, 0.0)
+    vv = np.where(m > 0.0, v, 0.0)
+    spec_u = np.abs(np.fft.rfft(uu, axis=1)) ** 2
+    spec_v = np.abs(np.fft.rfft(vv, axis=1)) ** 2
+    power = 0.5 * (spec_u + spec_v).mean(axis=0)
+    k = np.arange(power.size)
+    return k, power

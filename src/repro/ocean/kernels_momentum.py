@@ -1,0 +1,241 @@
+"""Baroclinic momentum kernels (B-grid).
+
+The momentum step is split into three kernels plus an implicit column
+solve (see :mod:`repro.ocean.kernels_vdiff`):
+
+1. :class:`BaroclinicTendencyFunctor` — leapfrog update with the
+   baroclinic pressure gradient, centered momentum advection and
+   horizontal Laplacian viscosity (no Coriolis, no surface pressure —
+   the barotropic solver owns the latter).
+2. :class:`CoriolisRotationFunctor` — semi-implicit (exact-rotation)
+   Coriolis, unconditionally stable for any ``f dt``.
+3. :class:`DepthMeanFunctor` — depth average over active levels, used
+   to strip the barotropic mode off the 3-D velocity before the
+   split-explicit subcycle and to re-add the subcycled mode after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kokkos import View, kokkos_register_for
+from .kernel_utils import TileFunctor, sh, t_at_u
+from .localdomain import LocalDomain
+
+
+@kokkos_register_for("baroclinic_tendency", ndim=3)
+class BaroclinicTendencyFunctor(TileFunctor):
+    """u_new = mask_u * (u_old + dt2 * (-adv + visc - dp/dx)) (and v).
+
+    Stencil width 1 on (u, v, p); requires valid halos on all three.
+    """
+
+    flops_per_point = 60.0
+    bytes_per_point = 12 * 8.0
+
+    def __init__(
+        self,
+        u_old: View, v_old: View,
+        u_cur: View, v_cur: View,
+        w: View,
+        p: View,
+        u_new: View, v_new: View,
+        domain: LocalDomain,
+        dt2: float,
+        visc: float,
+        advect: bool = True,
+        biharmonic: float = 0.0,
+    ) -> None:
+        self.u_old, self.v_old = u_old, v_old
+        self.u_cur, self.v_cur = u_cur, v_cur
+        self.w = w
+        self.p = p
+        self.u_new, self.v_new = u_new, v_new
+        self.dom = domain
+        self.dt2 = dt2
+        self.visc = visc
+        self.advect = advect
+        self.biharmonic = biharmonic
+
+    def apply(self, slices) -> None:
+        sk, sj, si = slices
+        d = self.dom
+        uo = self.u_old.data
+        vo = self.v_old.data
+        u = self.u_cur.data
+        v = self.v_cur.data
+        p = self.p.data
+        mu = d.mask_u[sk, sj, si]
+        dxu = d.dx_u[sj].reshape(1, -1, 1)
+        dy = d.dy
+
+        # -- baroclinic pressure gradient at U corners ----------------------
+        dpdx = 0.5 * (
+            (p[sk, sj, sh(si, 1)] - p[sk, sj, si])
+            + (p[sk, sh(sj, 1), sh(si, 1)] - p[sk, sh(sj, 1), si])
+        ) / dxu
+        dpdy = 0.5 * (
+            (p[sk, sh(sj, 1), si] - p[sk, sj, si])
+            + (p[sk, sh(sj, 1), sh(si, 1)] - p[sk, sj, sh(si, 1)])
+        ) / dy
+
+        # -- horizontal viscosity ---------------------------------------------
+        # evaluated on the LAGGED field: explicit diffusion under leapfrog
+        # is unconditionally unstable when centered in time
+        def lap(f, s0, s1, d0):
+            return (
+                (f[sk, s0, sh(s1, 1)] - 2 * f[sk, s0, s1] + f[sk, s0, sh(s1, -1)]) / d0**2
+                + (f[sk, sh(s0, 1), s1] - 2 * f[sk, s0, s1] + f[sk, sh(s0, -1), s1]) / dy**2
+            )
+
+        lap_u = lap(uo, sj, si, dxu)
+        lap_v = lap(vo, sj, si, dxu)
+        visc_u = self.visc * lap_u
+        visc_v = self.visc * lap_v
+        if self.biharmonic:
+            # -A4 lap(lap(u)): the eddy-resolving scale-selective form;
+            # the inner Laplacian is evaluated on the one-point-grown
+            # region, so the width-2 stencil exactly fits the halo
+            gj = slice(sj.start - 1, sj.stop + 1)
+            gi = slice(si.start - 1, si.stop + 1)
+            dxu_g = self.dom.dx_u[gj].reshape(1, -1, 1)
+            lap_u_g = lap(uo, gj, gi, dxu_g)
+            lap_v_g = lap(vo, gj, gi, dxu_g)
+            inner = (slice(None), slice(1, -1), slice(1, -1))
+
+            def lap_of(field):
+                return (
+                    (field[:, 1:-1, 2:] - 2 * field[inner] + field[:, 1:-1, :-2]) / dxu**2
+                    + (field[:, 2:, 1:-1] - 2 * field[inner] + field[:, :-2, 1:-1]) / dy**2
+                )
+
+            visc_u = visc_u - self.biharmonic * lap_of(lap_u_g)
+            visc_v = visc_v - self.biharmonic * lap_of(lap_v_g)
+
+        adv_u = 0.0
+        adv_v = 0.0
+        if self.advect:
+            # centered advective form at U corners
+            uc = u[sk, sj, si]
+            vc = v[sk, sj, si]
+            dudx = (u[sk, sj, sh(si, 1)] - u[sk, sj, sh(si, -1)]) / (2 * dxu)
+            dudy = (u[sk, sh(sj, 1), si] - u[sk, sh(sj, -1), si]) / (2 * dy)
+            dvdx = (v[sk, sj, sh(si, 1)] - v[sk, sj, sh(si, -1)]) / (2 * dxu)
+            dvdy = (v[sk, sh(sj, 1), si] - v[sk, sh(sj, -1), si]) / (2 * dy)
+            adv_u = uc * dudx + vc * dudy
+            adv_v = uc * dvdx + vc * dvdy
+            nz = u.shape[0]
+            if nz > 1 and sk.stop - sk.start > 0:
+                wq = t_at_u(self.w.data, sk, sj, si)
+                dz = self.dom.dz
+                dudz = np.zeros_like(uc)
+                dvdz = np.zeros_like(vc)
+                ks = np.arange(sk.start, sk.stop)
+                for local_k, k in enumerate(ks):
+                    up = max(k - 1, 0)
+                    dn = min(k + 1, nz - 1)
+                    span = self.dom.z_t[dn] - self.dom.z_t[up]
+                    # z positive down: du/dz(upward) = (u_up - u_down)/span
+                    dudz[local_k] = (u[up, sj, si] - u[dn, sj, si]) / span
+                    dvdz[local_k] = (v[up, sj, si] - v[dn, sj, si]) / span
+                adv_u = adv_u + wq * dudz
+                adv_v = adv_v + wq * dvdz
+
+        self.u_new.data[sk, sj, si] = mu * (
+            uo[sk, sj, si] + self.dt2 * (-adv_u + visc_u - dpdx)
+        )
+        self.v_new.data[sk, sj, si] = mu * (
+            vo[sk, sj, si] + self.dt2 * (-adv_v + visc_v - dpdy)
+        )
+
+
+@kokkos_register_for("coriolis_rotation", ndim=3)
+class CoriolisRotationFunctor(TileFunctor):
+    """Semi-implicit (Crank–Nicolson) Coriolis, unconditionally stable.
+
+    The kernel receives the provisional field ``u* = u_old + dt2 * F``
+    (already in ``u``/``v``) and solves
+
+    ``(I - a J) u_new = u* + a J u_old``,  ``a = f dt2 / 2``,
+
+    with ``J (u, v) = (v, -u)``.  This is the Cayley-transform rotation
+    used by B-grid models: exactly energy-neutral for inertial motion
+    and — unlike rotating the full updated field by ``f dt2`` — stable
+    when coupled to leapfrogged pressure terms at high latitude where
+    ``f dt2 > 1``.
+    """
+
+    flops_per_point = 14.0
+    bytes_per_point = 6 * 8.0
+
+    def __init__(
+        self, u: View, v: View, u_old: View, v_old: View,
+        domain: LocalDomain, dt2: float,
+    ) -> None:
+        self.u = u
+        self.v = v
+        self.u_old = u_old
+        self.v_old = v_old
+        self.dom = domain
+        self.dt2 = dt2
+
+    def apply(self, slices) -> None:
+        sk, sj, si = slices
+        a = (0.5 * self.dom.f_u[sj] * self.dt2).reshape(1, -1, 1)
+        m = self.dom.mask_u[sk, sj, si]
+        us = self.u.data[sk, sj, si]
+        vs = self.v.data[sk, sj, si]
+        uo = self.u_old.data[sk, sj, si]
+        vo = self.v_old.data[sk, sj, si]
+        rhs_u = us + a * vo
+        rhs_v = vs - a * uo
+        denom = 1.0 + a * a
+        self.u.data[sk, sj, si] = m * (rhs_u + a * rhs_v) / denom
+        self.v.data[sk, sj, si] = m * (rhs_v - a * rhs_u) / denom
+
+
+@kokkos_register_for("depth_mean", ndim=2)
+class DepthMeanFunctor(TileFunctor):
+    """Depth-average a 3-D corner field over active levels into a 2-D field."""
+
+    flops_per_point = 3.0
+    bytes_per_point = 3 * 8.0
+
+    def __init__(self, fld: View, out: View, domain: LocalDomain) -> None:
+        self.fld = fld
+        self.out = out
+        self.dom = domain
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        mu = d.mask_u[:, sj, si]
+        dzc = d.dz.reshape(-1, 1, 1)
+        thick = np.sum(mu * dzc, axis=0)
+        total = np.sum(self.fld.data[:, sj, si] * mu * dzc, axis=0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(thick > 0.0, total / np.maximum(thick, 1e-30), 0.0)
+        self.out.data[sj, si] = mean
+
+
+@kokkos_register_for("add_barotropic", ndim=3)
+class AddBarotropicFunctor(TileFunctor):
+    """u3d += (ub2d - current depth mean): re-attach the barotropic mode."""
+
+    flops_per_point = 2.0
+    bytes_per_point = 3 * 8.0
+
+    def __init__(self, fld: View, delta2d: View, domain: LocalDomain) -> None:
+        self.fld = fld
+        self.delta2d = delta2d
+        self.dom = domain
+
+    def apply(self, slices) -> None:
+        sk, sj, si = slices
+        m = self.dom.mask_u[sk, sj, si]
+        self.fld.data[sk, sj, si] = m * (
+            self.fld.data[sk, sj, si] + self.delta2d.data[sj, si][None, :, :]
+        )

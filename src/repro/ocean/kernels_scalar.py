@@ -1,0 +1,114 @@
+"""Scalar diagnostic kernels: equation of state, pressure, vertical velocity.
+
+Each is a registered Kokkos-style functor (so the Athread backend can
+dispatch it) with a vectorised tile body.  These are the "many small
+kernels" of the paper's hotspot-dispersion observation: cheap
+individually, collectively a large share of the step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kokkos import View, kokkos_register_for
+from .eos import ALPHA_T, BETA_S, RHO0, S0, T0
+from .grid import GRAVITY
+from .kernel_utils import TileFunctor, face_u_east, face_u_west, face_v_north, face_v_south, sh
+from .localdomain import LocalDomain
+
+
+@kokkos_register_for("eos_density", ndim=3)
+class EOSFunctor(TileFunctor):
+    """rho = rho0 (1 - alpha (T - T0) + beta (S - S0)), masked."""
+
+    flops_per_point = 5.0
+    bytes_per_point = 4 * 8.0
+
+    def __init__(self, t: View, s: View, rho: View, mask_t: np.ndarray) -> None:
+        self.t = t
+        self.s = s
+        self.rho = rho
+        self.mask_t = mask_t
+
+    def apply(self, slices) -> None:
+        sk, sj, si = slices
+        t = self.t.data[sk, sj, si]
+        s = self.s.data[sk, sj, si]
+        m = self.mask_t[sk, sj, si]
+        self.rho.data[sk, sj, si] = m * RHO0 * (
+            1.0 - ALPHA_T * (t - T0) + BETA_S * (s - S0)
+        )
+
+
+@kokkos_register_for("baroclinic_pressure", ndim=2)
+class PressureFunctor(TileFunctor):
+    """Hydrostatic dynamic pressure / rho0 from the density anomaly.
+
+    ``p[k] = (g/rho0) * (sum_{m<k} rho'_m dz_m + 0.5 rho'_k dz_k)`` with
+    ``rho' = rho - rho0``.  A column scan, parallel over (j, i).
+    """
+
+    flops_per_point = 4.0
+    bytes_per_point = 2 * 8.0
+
+    def __init__(self, rho: View, p: View, mask_t: np.ndarray, dz: np.ndarray) -> None:
+        self.rho = rho
+        self.p = p
+        self.mask_t = mask_t
+        self.dz = dz
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        rho = self.rho.data[:, sj, si]
+        m = self.mask_t[:, sj, si]
+        dzc = self.dz.reshape(-1, 1, 1)
+        rho_a = (rho - RHO0) * m
+        below = np.cumsum(rho_a * dzc, axis=0) - rho_a * dzc
+        self.p.data[:, sj, si] = (GRAVITY / RHO0) * (below + 0.5 * rho_a * dzc) * m
+
+
+@kokkos_register_for("vertical_velocity", ndim=2)
+class WFunctor(TileFunctor):
+    """Diagnose w (positive up, at level-top interfaces) from continuity.
+
+    ``w[k] = w[k+1] - dz_k * div_h(u)[k]`` integrated from the sea floor
+    (``w = 0``) upward; a column scan parallel over (j, i).  The ``w``
+    view holds ``nz + 1`` interfaces (index k = top of level k; index
+    nz = sea floor, always 0).  Requires a valid one-wide halo on (u, v).
+    """
+
+    flops_per_point = 12.0
+    bytes_per_point = 6 * 8.0
+
+    def __init__(self, u: View, v: View, w: View, domain: LocalDomain) -> None:
+        self.u = u
+        self.v = v
+        self.w = w
+        self.dom = domain
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        u = self.u.data
+        v = self.v.data
+        sk = slice(0, d.nz)
+        dy = d.dy
+        dxu_n = d.dx_u[sj].reshape(1, -1, 1)
+        dxu_s = d.dx_u[sh(sj, -1)].reshape(1, -1, 1)
+        area = (d.dx_t[sj] * dy).reshape(1, -1, 1)
+        dzc = d.dz.reshape(-1, 1, 1)
+        fe = face_u_east(u, sk, sj, si) * dy
+        fw = face_u_west(u, sk, sj, si) * dy
+        fn = face_v_north(v, sk, sj, si) * dxu_n
+        fs = face_v_south(v, sk, sj, si) * dxu_s
+        divh = (fe - fw + fn - fs) / area * self.dom.mask_t[:, sj, si]
+        # integrate upward from the floor: w[k] = w[k+1] - dz_k * divh[k]
+        colsum = np.cumsum((divh * dzc)[::-1], axis=0)[::-1]
+        self.w.data[: d.nz, sj, si] = -colsum
+        self.w.data[d.nz, sj, si] = 0.0

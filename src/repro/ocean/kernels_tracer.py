@@ -1,0 +1,425 @@
+"""Tracer transport: the two-step shape-preserving advection scheme.
+
+This is the paper's ``advection_tracer`` hotspot (§V-C2): a 3-D stencil
+kernel over many arrays with "enhanced logical complexity".  The scheme
+(Yu 1994) is two-step flux-corrected transport:
+
+1. **Predictor** — donor-cell (upstream) fluxes produce a monotone
+   provisional field T*.
+2. **Corrector** — antidiffusive fluxes (centered minus upstream,
+   evaluated on T*) are limited Zalesak-style so no cell leaves the
+   envelope of its own and its neighbours' {T, T*} values, then applied
+   conservatively.
+
+The limiter needs neighbour limiting factors, so the full update is
+kernel -> halo(T*) -> kernel(R±) -> halo(R±) -> kernel(apply): three
+extra 3-D halo updates per tracer per step — precisely the communication
+pressure that makes the paper's 3-D-halo optimizations matter.
+
+All kernels use 2-D (column-tile) policies: the vertical direction is
+handled inside the tile, as LICOM structures its tracer loops.
+
+Shape preservation and exact conservation (closed domain) are enforced
+by the property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..kokkos import View, kokkos_register_for
+from .kernel_utils import (
+    TileFunctor,
+    face_u_east,
+    face_u_west,
+    face_v_north,
+    face_v_south,
+    sh,
+)
+from .localdomain import LocalDomain
+
+_TINY = 1.0e-30
+
+
+def _pad_k(arr: np.ndarray, lo: int = 1, hi: int = 1) -> np.ndarray:
+    """Pad along axis 0 by edge replication (vertical boundary handling)."""
+    parts = []
+    if lo:
+        parts.append(np.repeat(arr[:1], lo, axis=0))
+    parts.append(arr)
+    if hi:
+        parts.append(np.repeat(arr[-1:], hi, axis=0))
+    return np.concatenate(parts, axis=0)
+
+
+def _upwind_fluxes(
+    t: np.ndarray,          # tracer (nz, ly, lx), full array
+    u: np.ndarray, v: np.ndarray,
+    w: np.ndarray,          # (nz+1, ly, lx) interface velocity, positive up
+    dom: LocalDomain,
+    sj: slice, si: slice,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Donor-cell fluxes for the faces of the cells in the (sj, si) tile.
+
+    Returns ``(F_e, F_n, F_t)``:
+    ``F_e`` (nz, nj, ni+1): east-face fluxes of cells ``si.start-1 .. si.stop-1``
+    (so ``F_e[:, :, c]`` / ``F_e[:, :, c+1]`` are cell c's west/east faces);
+    ``F_n`` (nz, nj+1, ni) likewise in j; ``F_t`` (nz+1, nj, ni) top-face
+    fluxes, positive upward, ``F_t[nz] = 0`` at the sea floor.
+    """
+    nz = dom.nz
+    sk = slice(0, nz)
+    dy = dom.dy
+    dz = dom.dz.reshape(-1, 1, 1)
+    # east faces of cells si.start-1 .. si.stop-1  <=> west+east of the tile
+    sie = slice(si.start - 1, si.stop)
+    ue = face_u_east(u, sk, sj, sie) * dy * dz
+    t_w = t[sk, sj, sie]
+    t_e = t[sk, sj, sh(sie, 1)]
+    f_e = np.maximum(ue, 0.0) * t_w + np.minimum(ue, 0.0) * t_e
+
+    sjn = slice(sj.start - 1, sj.stop)
+    dxu = dom.dx_u[sjn].reshape(1, -1, 1)
+    vn = face_v_north(v, sk, sjn, si) * dxu * dz
+    t_s = t[sk, sjn, si]
+    t_n = t[sk, sh(sjn, 1), si]
+    f_n = np.maximum(vn, 0.0) * t_s + np.minimum(vn, 0.0) * t_n
+
+    area = (dom.dx_t[sj] * dy).reshape(1, -1, 1)
+    wt = w[:, sj, si] * area                     # (nz+1, nj, ni), positive up
+    tcol = t[:, sj, si]
+    t_below = np.concatenate([tcol, tcol[-1:]], axis=0)   # donor when w > 0
+    t_above = np.concatenate([tcol[:1], tcol], axis=0)    # donor when w < 0
+    f_t = np.maximum(wt, 0.0) * t_below + np.minimum(wt, 0.0) * t_above
+    f_t[-1] = 0.0                                          # sea floor
+    return f_e, f_n, f_t
+
+
+def _central_fluxes(
+    t: np.ndarray, u: np.ndarray, v: np.ndarray, w: np.ndarray,
+    dom: LocalDomain, sj: slice, si: slice,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Second-order centered fluxes on the same face sets as above."""
+    nz = dom.nz
+    sk = slice(0, nz)
+    dy = dom.dy
+    dz = dom.dz.reshape(-1, 1, 1)
+    sie = slice(si.start - 1, si.stop)
+    ue = face_u_east(u, sk, sj, sie) * dy * dz
+    f_e = ue * 0.5 * (t[sk, sj, sie] + t[sk, sj, sh(sie, 1)])
+
+    sjn = slice(sj.start - 1, sj.stop)
+    dxu = dom.dx_u[sjn].reshape(1, -1, 1)
+    vn = face_v_north(v, sk, sjn, si) * dxu * dz
+    f_n = vn * 0.5 * (t[sk, sjn, si] + t[sk, sh(sjn, 1), si])
+
+    area = (dom.dx_t[sj] * dy).reshape(1, -1, 1)
+    wt = w[:, sj, si] * area
+    tcol = t[:, sj, si]
+    t_below = np.concatenate([tcol, tcol[-1:]], axis=0)
+    t_above = np.concatenate([tcol[:1], tcol], axis=0)
+    f_t = wt * 0.5 * (t_below + t_above)
+    f_t[-1] = 0.0
+    return f_e, f_n, f_t
+
+
+def _apply_divergence(
+    f_e: np.ndarray, f_n: np.ndarray, f_t: np.ndarray,
+    dom: LocalDomain, sj: slice, si: slice, dt: float,
+) -> np.ndarray:
+    """-dt/V * flux divergence for the tile's cells."""
+    dz = dom.dz.reshape(-1, 1, 1)
+    vol = (dom.dx_t[sj] * dom.dy).reshape(1, -1, 1) * dz
+    div = (
+        f_e[:, :, 1:] - f_e[:, :, :-1]
+        + f_n[:, 1:, :] - f_n[:, :-1, :]
+        + f_t[:-1] - f_t[1:]
+    )
+    return -dt * div / vol
+
+
+@kokkos_register_for("advect_tracer_predictor", ndim=2)
+class AdvectPredictorFunctor(TileFunctor):
+    """Step 1: donor-cell predictor, T* = T - dt/V div F_up(T)."""
+
+    flops_per_point = 45.0
+    bytes_per_point = 10 * 8.0
+
+    def __init__(
+        self,
+        t_in: View, u: View, v: View, w: View,
+        t_star: View,
+        domain: LocalDomain,
+        dt: float,
+    ) -> None:
+        self.t_in = t_in
+        self.u = u
+        self.v = v
+        self.w = w
+        self.t_star = t_star
+        self.dom = domain
+        self.dt = dt
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        t = self.t_in.data
+        f_e, f_n, f_t = _upwind_fluxes(
+            t, self.u.data, self.v.data, self.w.data, d, sj, si
+        )
+        m = d.mask_t[:, sj, si]
+        delta = _apply_divergence(f_e, f_n, f_t, d, sj, si, self.dt)
+        self.t_star.data[:, sj, si] = m * (t[:, sj, si] + delta)
+
+
+def _antidiffusive(
+    t_star: np.ndarray, u: np.ndarray, v: np.ndarray, w: np.ndarray,
+    dom: LocalDomain, sj: slice, si: slice,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A = F_central(T*) - F_upwind(T*) on the tile's face sets.
+
+    The surface antidiffusive flux is zeroed: the limiter has no cell
+    above the surface to police, and a zero flux keeps conservation.
+    """
+    fc = _central_fluxes(t_star, u, v, w, dom, sj, si)
+    fu = _upwind_fluxes(t_star, u, v, w, dom, sj, si)
+    a_e = fc[0] - fu[0]
+    a_n = fc[1] - fu[1]
+    a_t = fc[2] - fu[2]
+    a_t[0] = 0.0
+    return a_e, a_n, a_t
+
+
+def _local_bounds(
+    t_old: np.ndarray, t_star: np.ndarray, mask: np.ndarray,
+    sj: slice, si: slice,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Zalesak envelope: extrema of {T, T*} over self + 6 neighbours.
+
+    Land neighbours are replaced by the cell's own T* so they cannot
+    corrupt the envelope.
+    """
+    own_star = t_star[:, sj, si]
+
+    def nb(arr: np.ndarray, dj: int, di: int, dk: int = 0) -> np.ndarray:
+        vals = arr[:, sh(sj, dj), si if di == 0 else sh(si, di)]
+        msk = mask[:, sh(sj, dj), si if di == 0 else sh(si, di)]
+        if dk:
+            if dk > 0:
+                vals = np.concatenate([vals[dk:], vals[-1:]], axis=0)
+                msk = np.concatenate([msk[dk:], msk[-1:]], axis=0)
+            else:
+                vals = np.concatenate([vals[:1], vals[:dk]], axis=0)
+                msk = np.concatenate([msk[:1], msk[:dk]], axis=0)
+        return np.where(msk > 0.0, vals, own_star)
+
+    candidates = []
+    for arr in (t_old, t_star):
+        candidates.append(nb(arr, 0, 0))
+        candidates.append(nb(arr, 0, 1))
+        candidates.append(nb(arr, 0, -1))
+        candidates.append(nb(arr, 1, 0))
+        candidates.append(nb(arr, -1, 0))
+        candidates.append(nb(arr, 0, 0, dk=1))
+        candidates.append(nb(arr, 0, 0, dk=-1))
+    stack = np.stack(candidates)
+    return stack.max(axis=0), stack.min(axis=0)
+
+
+@kokkos_register_for("advect_tracer_limits", ndim=2)
+class FCTLimitFunctor(TileFunctor):
+    """Step 2a: Zalesak limiting factors R+ (inflow) and R- (outflow)."""
+
+    flops_per_point = 70.0
+    bytes_per_point = 14 * 8.0
+
+    def __init__(
+        self,
+        t_old: View, t_star: View,
+        u: View, v: View, w: View,
+        r_plus: View, r_minus: View,
+        domain: LocalDomain,
+        dt: float,
+    ) -> None:
+        self.t_old = t_old
+        self.t_star = t_star
+        self.u = u
+        self.v = v
+        self.w = w
+        self.r_plus = r_plus
+        self.r_minus = r_minus
+        self.dom = domain
+        self.dt = dt
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        ts = self.t_star.data
+        a_e, a_n, a_t = _antidiffusive(
+            ts, self.u.data, self.v.data, self.w.data, d, sj, si
+        )
+        tmax, tmin = _local_bounds(self.t_old.data, ts, d.mask_t, sj, si)
+        dz = d.dz.reshape(-1, 1, 1)
+        vol = (d.dx_t[sj] * d.dy).reshape(1, -1, 1) * dz
+        # inflow / outflow positive parts
+        p_plus = (
+            np.maximum(a_e[:, :, :-1], 0.0) - np.minimum(a_e[:, :, 1:], 0.0)
+            + np.maximum(a_n[:, :-1, :], 0.0) - np.minimum(a_n[:, 1:, :], 0.0)
+            + np.maximum(a_t[1:], 0.0) - np.minimum(a_t[:-1], 0.0)
+        )
+        p_minus = (
+            np.maximum(a_e[:, :, 1:], 0.0) - np.minimum(a_e[:, :, :-1], 0.0)
+            + np.maximum(a_n[:, 1:, :], 0.0) - np.minimum(a_n[:, :-1, :], 0.0)
+            + np.maximum(a_t[:-1], 0.0) - np.minimum(a_t[1:], 0.0)
+        )
+        own = ts[:, sj, si]
+        q_plus = (tmax - own) * vol / self.dt
+        q_minus = (own - tmin) * vol / self.dt
+        m = d.mask_t[:, sj, si]
+        self.r_plus.data[:, sj, si] = np.where(
+            m > 0.0, np.minimum(1.0, q_plus / (p_plus + _TINY)), 1.0
+        )
+        self.r_minus.data[:, sj, si] = np.where(
+            m > 0.0, np.minimum(1.0, q_minus / (p_minus + _TINY)), 1.0
+        )
+
+
+@kokkos_register_for("advect_tracer_apply", ndim=2)
+class FCTApplyFunctor(TileFunctor):
+    """Step 2b: apply limited antidiffusive fluxes -> T_new.
+
+    Requires valid halos on T*, R+ and R-.
+    """
+
+    flops_per_point = 80.0
+    bytes_per_point = 16 * 8.0
+
+    def __init__(
+        self,
+        t_star: View,
+        u: View, v: View, w: View,
+        r_plus: View, r_minus: View,
+        t_new: View,
+        domain: LocalDomain,
+        dt: float,
+    ) -> None:
+        self.t_star = t_star
+        self.u = u
+        self.v = v
+        self.w = w
+        self.r_plus = r_plus
+        self.r_minus = r_minus
+        self.t_new = t_new
+        self.dom = domain
+        self.dt = dt
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        ts = self.t_star.data
+        rp = self.r_plus.data
+        rm = self.r_minus.data
+        a_e, a_n, a_t = _antidiffusive(
+            ts, self.u.data, self.v.data, self.w.data, d, sj, si
+        )
+        # east faces: cells (si.start-1 .. si.stop-1) and their +1 neighbours
+        sie = slice(si.start - 1, si.stop)
+        rp_w = rp[:, sj, sie]
+        rp_e = rp[:, sj, sh(sie, 1)]
+        rm_w = rm[:, sj, sie]
+        rm_e = rm[:, sj, sh(sie, 1)]
+        c_e = np.where(a_e > 0.0, np.minimum(rp_e, rm_w), np.minimum(rp_w, rm_e))
+
+        sjn = slice(sj.start - 1, sj.stop)
+        rp_s = rp[:, sjn, si]
+        rp_n = rp[:, sh(sjn, 1), si]
+        rm_s = rm[:, sjn, si]
+        rm_n = rm[:, sh(sjn, 1), si]
+        c_n = np.where(a_n > 0.0, np.minimum(rp_n, rm_s), np.minimum(rp_s, rm_n))
+
+        rp_col = rp[:, sj, si]
+        rm_col = rm[:, sj, si]
+        rp_above = np.concatenate([rp_col[:1], rp_col], axis=0)
+        rm_above = np.concatenate([rm_col[:1], rm_col], axis=0)
+        rp_here = np.concatenate([rp_col, rp_col[-1:]], axis=0)
+        rm_here = np.concatenate([rm_col, rm_col[-1:]], axis=0)
+        # a_t[k] is the top face of cell k: positive-up flux leaves cell k
+        # and enters cell k-1 (above)
+        c_t = np.where(
+            a_t > 0.0, np.minimum(rp_above, rm_here), np.minimum(rp_here, rm_above)
+        )
+        c_t[0] = 0.0
+        c_t[-1] = 0.0
+
+        delta = _apply_divergence(
+            a_e * c_e, a_n * c_n, a_t * c_t, d, sj, si, self.dt
+        )
+        m = d.mask_t[:, sj, si]
+        self.t_new.data[:, sj, si] = m * (ts[:, sj, si] + delta)
+
+
+@kokkos_register_for("tracer_hdiff", ndim=2)
+class TracerHDiffusionFunctor(TileFunctor):
+    """Conservative explicit horizontal Laplacian diffusion.
+
+    ``T_new += dt/V * div(A_T * open_face * grad T_old)`` — flux form
+    with land faces closed, so the operator conserves the tracer.
+    """
+
+    flops_per_point = 25.0
+    bytes_per_point = 8 * 8.0
+
+    def __init__(
+        self,
+        t_in: View, t_new: View,
+        domain: LocalDomain,
+        dt: float,
+        diffusivity: float,
+    ) -> None:
+        self.t_in = t_in
+        self.t_new = t_new
+        self.dom = domain
+        self.dt = dt
+        self.kappa = diffusivity
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        t = self.t_in.data
+        m = d.mask_t
+        dz = d.dz.reshape(-1, 1, 1)
+        dy = d.dy
+        nz = d.nz
+        sk = slice(0, nz)
+
+        sie = slice(si.start - 1, si.stop)
+        dxt_row = d.dx_t[sj].reshape(1, -1, 1)
+        open_e = m[sk, sj, sie] * m[sk, sj, sh(sie, 1)]
+        f_e = self.kappa * dy * dz * open_e * (
+            t[sk, sj, sh(sie, 1)] - t[sk, sj, sie]
+        ) / dxt_row
+
+        sjn = slice(sj.start - 1, sj.stop)
+        dxu = d.dx_u[sjn].reshape(1, -1, 1)
+        open_n = m[sk, sjn, si] * m[sk, sh(sjn, 1), si]
+        f_n = self.kappa * dxu * dz * open_n * (
+            t[sk, sh(sjn, 1), si] - t[sk, sjn, si]
+        ) / dy
+
+        vol = (d.dx_t[sj] * dy).reshape(1, -1, 1) * dz
+        div = f_e[:, :, 1:] - f_e[:, :, :-1] + f_n[:, 1:, :] - f_n[:, :-1, :]
+        self.t_new.data[:, sj, si] += self.dt * div / vol * m[:, sj, si]

@@ -1,0 +1,547 @@
+"""LICOMK++ — the top-level ocean model.
+
+Assembles grid, topography, forcing, state and the kernel suite into the
+paper's split-explicit leapfrog time step (§V-A):
+
+* leapfrog with Robert–Asselin filtering for the baroclinic mode,
+* forward–backward subcycling for the barotropic mode (Table III step
+  ratios),
+* two-step shape-preserving tracer advection,
+* Canuto vertical mixing feeding implicit column solves,
+* 2-D/3-D halo updates (tripolar fold included) between every stencil
+  stage — the communication pattern whose cost the paper optimizes.
+
+Every kernel is dispatched through the portability layer, so the same
+model runs unchanged on the serial, OpenMP, Athread and CUDA/HIP
+backends; on device backends the halo stages ledger their host<->device
+copies (the paper's heterogeneous systems lack GPU-aware MPI, §V-D).
+
+A model instance owns one rank's block.  Single-process use (the
+default) is just the 1x1 decomposition; distributed runs construct one
+model per rank inside :meth:`repro.parallel.comm.SimWorld.run` and must
+agree bitwise with the single-rank run (enforced by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import StabilityError
+from ..kokkos import (
+    ExecutionSpace,
+    MDRangePolicy,
+    View,
+    kokkos_register_for,
+    make_backend,
+)
+from ..parallel.comm import SimComm, SingleComm
+from ..parallel.decomp import BlockDecomposition
+from ..parallel.halo import HaloUpdater
+from ..timing import TimerRegistry
+from .config import ModelConfig
+from .forcing import ForcingParams, make_forcing
+from .grid import Grid, make_grid
+from .kernels_barotropic import (
+    AsselinFilterFunctor,
+    BarotropicContinuityFunctor,
+    BarotropicMomentumFunctor,
+)
+from .kernels_momentum import (
+    AddBarotropicFunctor,
+    BaroclinicTendencyFunctor,
+    CoriolisRotationFunctor,
+    DepthMeanFunctor,
+)
+from .kernels_scalar import EOSFunctor, PressureFunctor, WFunctor
+from .kernels_tracer import (
+    AdvectPredictorFunctor,
+    FCTApplyFunctor,
+    FCTLimitFunctor,
+    TracerHDiffusionFunctor,
+)
+from .kernels_vdiff import VerticalFrictionFunctor, VerticalTracerDiffusionFunctor
+from .localdomain import LocalDomain, local_with_halo, make_local_domain
+from .state import ModelState
+from .topography import Topography, make_topography
+from .vmix_canuto import CanutoMixFunctor, KAPPA_H_BACKGROUND, KAPPA_M_BACKGROUND
+
+
+@dataclass
+class ModelParams:
+    """Tunable physics/numerics parameters (resolution-aware defaults)."""
+
+    visc_factor: float = 0.02       # A_h = visc_factor * dx_min^2 / dt
+    biharmonic_factor: float = 0.0  # A_4 = biharmonic_factor * dx_min^4 / dt
+                                    # (the eddy-resolving mixing form)
+    tdiff_factor: float = 0.005     # A_T = tdiff_factor * dx_min^2 / dt
+    asselin: float = 0.1            # Robert-Asselin coefficient
+    bottom_drag: float = 1.0e-6     # linear bottom drag [1/s]
+    advect_momentum: bool = True
+    canuto_every: int = 1           # steps between canuto updates
+    check_every: int = 16           # steps between NaN checks (0 = never)
+    thermocline_depth: float = 800.0  # initial stratification e-folding [m]
+    t_deep: float = 2.0             # abyssal temperature [C]
+    precision: str = "double"       # "double" | "single" (SViii mixed precision)
+    n_passive: int = 0              # extra passive (dye/age) tracers
+    halo_packer: str = "sliced"     # "sliced" | "kernel" | "naive" (SV-D pack)
+    halo_method3d: str = "transposed"  # "transposed" | "per_level" (Fig. 5)
+    forcing: ForcingParams = field(default_factory=ForcingParams)
+
+
+class LICOMKpp:
+    """A performance-portable LICOM-like global ocean model (one rank).
+
+    Parameters
+    ----------
+    config:
+        Grid sizes and time steps (:mod:`repro.ocean.config`).
+    backend:
+        Execution-space name (``serial``/``openmp``/``athread``/``cuda``/
+        ``hip``) or an already-built :class:`ExecutionSpace`.
+    comm / decomp:
+        Simulated-MPI endpoint and decomposition; default single rank.
+    flat_bottom:
+        Use the idealized flat-bottom aquaplanet topography.
+    """
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        backend="serial",
+        comm: Optional[SimComm] = None,
+        decomp: Optional[BlockDecomposition] = None,
+        params: Optional[ModelParams] = None,
+        grid: Optional[Grid] = None,
+        topo: Optional[Topography] = None,
+        flat_bottom: bool = False,
+        seed: int = 2024,
+    ) -> None:
+        self.config = config
+        self.params = params or ModelParams()
+        self.space: ExecutionSpace = (
+            backend if isinstance(backend, ExecutionSpace) else make_backend(backend)
+        )
+        self.comm = comm if comm is not None else SingleComm()
+        self.decomp = decomp if decomp is not None else BlockDecomposition(
+            config.ny, config.nx, 1, 1
+        )
+        self.rank = self.comm.rank
+        self.timers = TimerRegistry()
+
+        # full-depth grids bottom out exactly at the paper's 10,905 m
+        # maximum topography, so the trench column activates every level
+        from .topography import MARIANA_DEPTH
+        depth = MARIANA_DEPTH if config.full_depth else 5000.0
+        stretch = 6.0 if config.full_depth else 2.0
+        self.grid = grid if grid is not None else make_grid(
+            config.ny, config.nx, config.nz, depth=depth, stretch=stretch
+        )
+        self.topo = topo if topo is not None else make_topography(
+            self.grid, with_trench=config.full_depth, flat=flat_bottom, seed=seed
+        )
+        self.domain: LocalDomain = make_local_domain(
+            self.grid, self.topo, self.decomp, self.rank
+        )
+        d = self.domain
+        if self.params.precision not in ("double", "single"):
+            raise ValueError(
+                f"precision must be 'double' or 'single', got "
+                f"{self.params.precision!r}")
+        self.dtype = np.float64 if self.params.precision == "double" else np.float32
+        self.state = ModelState(d.nz, d.ly, d.lx, space=self.space.memory_space,
+                                dtype=self.dtype, n_passive=self.params.n_passive)
+        self.halo = HaloUpdater(self.comm, self.decomp, self.rank,
+                                method3d=self.params.halo_method3d,
+                                packer=self.params.halo_packer)
+
+        # -- work views -----------------------------------------------------
+        s3 = (d.nz, d.ly, d.lx)
+        s2 = (d.ly, d.lx)
+        sp = self.space.memory_space
+        dt_ = self.dtype
+        self.tstar = View("tstar", s3, dtype=dt_, space=sp)
+        self.tdiff_work = View("tdiff_work", s3, dtype=dt_, space=sp)
+        self.rplus = View("rplus", s3, dtype=dt_, space=sp)
+        self.rminus = View("rminus", s3, dtype=dt_, space=sp)
+        self.eta = View("eta_work", s2, dtype=dt_, space=sp)
+        self.eta_prev = View("eta_prev", s2, dtype=dt_, space=sp)
+        self.um = View("umean", s2, dtype=dt_, space=sp)
+        self.vm = View("vmean", s2, dtype=dt_, space=sp)
+        self.um_old = View("umean_old", s2, dtype=dt_, space=sp)
+        self.vm_old = View("vmean_old", s2, dtype=dt_, space=sp)
+        self.gx = View("gforce_x", s2, dtype=dt_, space=sp)
+        self.gy = View("gforce_y", s2, dtype=dt_, space=sp)
+        self.neg = View("neg_mean", s2, dtype=dt_, space=sp)
+
+        # -- forcing, geometry ------------------------------------------------
+        global_forcing = make_forcing(self.grid, self.params.forcing)
+        self.taux = local_with_halo(global_forcing.taux_u, self.decomp, self.rank, sign=-1.0)
+        self.tauy = local_with_halo(global_forcing.tauy_u, self.decomp, self.rank, sign=-1.0)
+        self.sst_star = local_with_halo(global_forcing.sst_star, self.decomp, self.rank)
+        self.sss_star = local_with_halo(global_forcing.sss_star, self.decomp, self.rank)
+        self.gamma_t = global_forcing.gamma_t
+        self.gamma_s = global_forcing.gamma_s
+        self.hu = d.column_depth_u() * d.mask_u[0]
+        self._zero2d = np.zeros((d.ly, d.lx))
+
+        # -- numerics ---------------------------------------------------------
+        dxm = self.grid.min_dx()
+        self.visc = self.params.visc_factor * dxm * dxm / config.dt_baroclinic
+        self.bivisc = self.params.biharmonic_factor * dxm ** 4 / config.dt_baroclinic
+        self.tdiff = self.params.tdiff_factor * dxm * dxm / config.dt_tracer
+        # eta checkerboard damping: stability requires
+        # eta_diff * dt_b * (2/dx^2 + 2/dy^2) < 1/2
+        self.eta_diff = 0.02 * dxm * dxm / config.dt_barotropic
+        self.nstep = 0
+        self.time_seconds = 0.0
+
+        # -- policies ---------------------------------------------------------
+        h = d.halo
+        self.p_full3 = MDRangePolicy([(0, d.nz), (0, d.ly), (0, d.lx)])
+        self.p_int3 = MDRangePolicy([(0, d.nz), (h, d.ly - h), (h, d.lx - h)])
+        self.p_full2 = MDRangePolicy([(0, d.ly), (0, d.lx)])
+        self.p_int2 = MDRangePolicy([(h, d.ly - h), (h, d.lx - h)])
+        # interior grown by one ring: w is read at +-1 by the momentum
+        # kernel, and the (u, v) halos are 2 wide, so the ring can be
+        # computed locally instead of exchanged (saves one 3-D halo).
+        self.p_int2g = MDRangePolicy([(h - 1, d.ly - h + 1), (h - 1, d.lx - h + 1)])
+
+        self._initialize_state()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def _initialize_state(self) -> None:
+        """Analytic initial conditions: stratified, at rest."""
+        d = self.domain
+        p = self.params
+        sst = self.sst_star                      # (ly, lx), halo-filled
+        zt = d.z_t.reshape(-1, 1, 1)
+        decay = np.exp(-zt / p.thermocline_depth)
+        t0 = (p.t_deep + (sst[None, :, :] - p.t_deep) * decay) * d.mask_t
+        s0 = 35.0 * d.mask_t
+        self.state.t.set_initial(t0)
+        self.state.s.set_initial(s0)
+        zeros3 = np.zeros((d.nz, d.ly, d.lx))
+        zeros2 = np.zeros((d.ly, d.lx))
+        self.state.u.set_initial(zeros3)
+        self.state.v.set_initial(zeros3)
+        self.state.ssh.set_initial(zeros2)
+        self.state.kappa_m.raw[...] = KAPPA_M_BACKGROUND
+        self.state.kappa_h.raw[...] = KAPPA_H_BACKGROUND
+
+    # ------------------------------------------------------------------
+    # halo helpers (ledger device copies: no GPU-aware MPI on these systems)
+    # ------------------------------------------------------------------
+
+    def _ledger_halo(self, nbytes: float) -> None:
+        if not self.space.memory_space.host_accessible:
+            tr = self.space.inst.transfers
+            tr.record_d2h(nbytes)
+            tr.record_h2d(nbytes)
+
+    def _halo3(self, view: View, sign: float = 1.0, fill: float = 0.0) -> None:
+        d = self.domain
+        h = d.halo
+        nz = view.raw.shape[0]
+        self._ledger_halo(nz * 2 * h * (d.ly + d.lx) * 8.0)
+        self.halo.update3d(view.raw, sign=sign, fill=fill)
+
+    def _halo2(self, view: View, sign: float = 1.0, fill: float = 0.0) -> None:
+        d = self.domain
+        h = d.halo
+        self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
+        self.halo.update2d(view.raw, sign=sign, fill=fill)
+
+    # ------------------------------------------------------------------
+    # one baroclinic step
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the model one baroclinic time step."""
+        st = self.state
+        d = self.domain
+        cfg = self.config
+        dt = cfg.dt_baroclinic
+        dt2 = dt if self.nstep == 0 else 2.0 * dt
+        run = self.space.parallel_for
+
+        with self.timers.timer("step"):
+            # -- density / pressure / mixing coefficients -------------------
+            with self.timers.timer("eos_pressure"):
+                run("eos_density", self.p_full3,
+                    EOSFunctor(st.t.cur, st.s.cur, st.rho, d.mask_t))
+                run("baroclinic_pressure", self.p_full2,
+                    PressureFunctor(st.rho, st.p, d.mask_t, d.dz))
+            if self.params.canuto_every and self.nstep % self.params.canuto_every == 0:
+                with self.timers.timer("canuto"):
+                    self._run_canuto()
+
+            # -- vertical velocity from current (time-centered) flow --------
+            with self.timers.timer("w_diag"):
+                run("vertical_velocity", self.p_int2g,
+                    WFunctor(st.u.cur, st.v.cur, st.w, d))
+
+            # -- baroclinic momentum ----------------------------------------
+            with self.timers.timer("momentum"):
+                run("baroclinic_tendency", self.p_int3,
+                    BaroclinicTendencyFunctor(
+                        st.u.old, st.v.old, st.u.cur, st.v.cur, st.w, st.p,
+                        st.u.new, st.v.new, d, dt2, self.visc,
+                        advect=self.params.advect_momentum,
+                        biharmonic=self.bivisc))
+                run("vertical_friction", self.p_int2,
+                    VerticalFrictionFunctor(
+                        st.u.new, st.v.new, st.kappa_m, self.taux, self.tauy,
+                        d, dt2, self.params.bottom_drag))
+                # Capture the depth-mean force for the barotropic solver
+                # BEFORE Coriolis rotation: the subcycle applies its own
+                # Coriolis, and a rotation baked into G would double it
+                # (a classic splitting instability).
+                run("depth_mean_u_old", self.p_full2,
+                    DepthMeanFunctor(st.u.old, self.um_old, d))
+                run("depth_mean_v_old", self.p_full2,
+                    DepthMeanFunctor(st.v.old, self.vm_old, d))
+                run("depth_mean_u_new", self.p_full2,
+                    DepthMeanFunctor(st.u.new, self.um, d))
+                run("depth_mean_v_new", self.p_full2,
+                    DepthMeanFunctor(st.v.new, self.vm, d))
+                self.gx.raw[...] = (self.um.raw - self.um_old.raw) / dt2
+                self.gy.raw[...] = (self.vm.raw - self.vm_old.raw) / dt2
+                run("coriolis_rotation", self.p_int3,
+                    CoriolisRotationFunctor(st.u.new, st.v.new,
+                                            st.u.old, st.v.old, d, dt2))
+            with self.timers.timer("halo_momentum"):
+                self._halo3(st.u.new, sign=-1.0)
+                self._halo3(st.v.new, sign=-1.0)
+
+            # -- split-explicit barotropic mode -----------------------------
+            with self.timers.timer("barotropic"):
+                self._barotropic_cycle(dt2)
+
+            # -- tracers (transported with the time-centered velocities) -----
+            with self.timers.timer("tracer"):
+                self._tracer_step(st.t, self.sst_star, self.gamma_t, dt2)
+                self._tracer_step(st.s, self.sss_star, self.gamma_s, dt2)
+                for p in st.passive:
+                    self._tracer_step(p, self._zero2d, 0.0, dt2)
+
+            # -- Asselin filter + rotate ------------------------------------
+            with self.timers.timer("filter"):
+                a = self.params.asselin
+                for f in (st.u, st.v, st.t, st.s):
+                    run("asselin_filter", self.p_full3,
+                        AsselinFilterFunctor(f.old, f.cur, f.new, a))
+                run("asselin_filter_ssh", self.p_full2,
+                    _Asselin2D(st.ssh.old, st.ssh.cur, st.ssh.new, a))
+                st.rotate()
+
+        self.nstep += 1
+        self.time_seconds += dt
+        ce = self.params.check_every
+        if ce and self.nstep % ce == 0 and st.has_nan():
+            raise StabilityError(
+                f"NaN/Inf in prognostic fields at step {self.nstep} "
+                f"(t = {self.time_seconds / 86400.0:.2f} days)"
+            )
+
+    def _run_canuto(self) -> None:
+        st = self.state
+        self.space.parallel_for(
+            "canuto_mixing", self.p_int2,
+            CanutoMixFunctor(st.u.cur, st.v.cur, st.rho,
+                             st.kappa_m, st.kappa_h, self.domain))
+
+    def _barotropic_cycle(self, dt2: float) -> None:
+        """Forward-backward subcycle over ``nsub`` barotropic steps.
+
+        The external mode is integrated *forward in time* from the
+        current level over one baroclinic step: re-integrating a 2 dt
+        leapfrog window every step excites the external computational
+        mode.  Forward stepping is mildly dissipative for surface
+        gravity waves, which is exactly what the splitting needs.
+        """
+        st = self.state
+        d = self.domain
+        run = self.space.parallel_for
+        dtb = self.config.dt_barotropic
+        steps = max(1, int(round(self.config.dt_baroclinic / dtb)))
+
+        # strip the provisional barotropic mode from the 3-D velocity
+        # (the depth-mean force gx/gy was captured pre-rotation in step())
+        run("depth_mean_u_new", self.p_full2, DepthMeanFunctor(st.u.new, self.um, d))
+        run("depth_mean_v_new", self.p_full2, DepthMeanFunctor(st.v.new, self.vm, d))
+        self.neg.raw[...] = -self.um.raw
+        run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.neg, d))
+        self.neg.raw[...] = -self.vm.raw
+        run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.neg, d))
+
+        # subcycle state: start from (eta, ubar) at the current level
+        self.eta.raw[...] = st.ssh.cur.raw
+        run("depth_mean_u_cur", self.p_full2, DepthMeanFunctor(st.u.cur, st.ub, d))
+        run("depth_mean_v_cur", self.p_full2, DepthMeanFunctor(st.v.cur, st.vb, d))
+
+        cont = BarotropicContinuityFunctor(
+            st.ub, st.vb, self.eta_prev, self.eta, self.hu, d, dtb,
+            eta_diff=self.eta_diff,
+        )
+        mom = BarotropicMomentumFunctor(st.ub, st.vb, self.eta, self.gx, self.gy, d, dtb)
+        for _ in range(steps):
+            self.eta_prev.raw[...] = self.eta.raw
+            run("barotropic_continuity", self.p_int2, cont)
+            self._halo2(self.eta)
+            run("barotropic_momentum", self.p_int2, mom)
+            self._halo2(st.ub, sign=-1.0)
+            self._halo2(st.vb, sign=-1.0)
+
+        st.ssh.new.raw[...] = self.eta.raw
+        # re-attach the subcycled barotropic mode
+        run("add_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, st.ub, d))
+        run("add_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, st.vb, d))
+        with self.timers.timer("halo_momentum"):
+            self._halo3(st.u.new, sign=-1.0)
+            self._halo3(st.v.new, sign=-1.0)
+
+    def _tracer_step(self, fld, star2d: np.ndarray, gamma: float, dt2: float) -> None:
+        """Two-step shape-preserving advection + diffusion for one tracer.
+
+        Horizontal diffusion runs first (its explicit maximum principle
+        keeps the field inside its bounds), then the FCT advection of
+        the diffused field, then the implicit vertical operator — so the
+        whole tracer step is strictly bounds-preserving (the dye test
+        relies on it).
+        """
+        st = self.state
+        d = self.domain
+        run = self.space.parallel_for
+        # diffuse-then-advect: tdiff_work = old + dt * div(k grad old)
+        self.tdiff_work.raw[...] = fld.old.raw
+        run("tracer_hdiff", self.p_int2,
+            TracerHDiffusionFunctor(fld.old, self.tdiff_work, d, dt2, self.tdiff))
+        with self.timers.timer("halo_tracer"):
+            self._halo3(self.tdiff_work)
+        run("advect_tracer_predictor", self.p_int2,
+            AdvectPredictorFunctor(self.tdiff_work, st.u.cur, st.v.cur, st.w,
+                                   self.tstar, d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3(self.tstar)
+        run("advect_tracer_limits", self.p_int2,
+            FCTLimitFunctor(self.tdiff_work, self.tstar, st.u.cur, st.v.cur,
+                            st.w, self.rplus, self.rminus, d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3(self.rplus, fill=1.0)
+            self._halo3(self.rminus, fill=1.0)
+        run("advect_tracer_apply", self.p_int2,
+            FCTApplyFunctor(self.tstar, st.u.cur, st.v.cur, st.w,
+                            self.rplus, self.rminus, fld.new, d, dt2))
+        run("vertical_tracer_diffusion", self.p_int2,
+            VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
+                                           gamma, d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3(fld.new)
+
+    # ------------------------------------------------------------------
+    # driving and output
+    # ------------------------------------------------------------------
+
+    def run_steps(self, n: int) -> None:
+        """Advance ``n`` baroclinic steps."""
+        for _ in range(n):
+            self.step()
+
+    def run_days(self, days: float) -> None:
+        """Advance by (at least) ``days`` simulated days."""
+        n = int(np.ceil(days * 86400.0 / self.config.dt_baroclinic))
+        self.run_steps(n)
+
+    def release_dye(self, index: int = 0, lon: float = 200.0, lat: float = 0.0,
+                    radius_deg: float = 10.0, level_range=(0, 1)) -> None:
+        """Initialise passive tracer ``index`` with a unit blob.
+
+        The dye is bounded in [0, 1]; the shape-preserving advection must
+        keep it there for the model's lifetime (tested).
+        """
+        if index >= len(self.state.passive):
+            raise ValueError(
+                f"model has {len(self.state.passive)} passive tracers; "
+                f"requested index {index} (set ModelParams.n_passive)")
+        from .localdomain import local_with_halo
+
+        grid = self.grid
+        lon_t = np.mod(grid.lon_t, 360.0)
+        dlo = np.minimum(np.abs(lon_t - lon), 360.0 - np.abs(lon_t - lon))
+        lat2, lon2 = np.meshgrid(grid.lat_t, dlo, indexing="ij")
+        blob2d = np.where((lon2 / radius_deg) ** 2
+                          + ((lat2 - lat) / radius_deg) ** 2 <= 1.0, 1.0, 0.0)
+        local2d = local_with_halo(blob2d, self.decomp, self.rank)
+        d = self.domain
+        field = np.zeros((d.nz, d.ly, d.lx))
+        k0, k1 = level_range
+        field[k0:k1] = local2d[None, :, :]
+        field *= d.mask_t
+        self.state.passive[index].set_initial(field)
+
+    # -- field access -----------------------------------------------------
+
+    def local_interior(self, arr: np.ndarray) -> np.ndarray:
+        """Strip halos off a local array (2-D or 3-D)."""
+        jj, ii = self.domain.interior
+        return arr[..., jj, ii]
+
+    def sst(self) -> np.ndarray:
+        """Local sea-surface temperature (interior, land as NaN)."""
+        t = self.local_interior(self.state.t.cur.raw)[0].copy()
+        m = self.local_interior(self.domain.mask_t)[0]
+        t[m == 0.0] = np.nan
+        return t
+
+    def surface_speed(self) -> np.ndarray:
+        """Local surface current speed at U points (interior)."""
+        u = self.local_interior(self.state.u.cur.raw)[0]
+        v = self.local_interior(self.state.v.cur.raw)[0]
+        return np.hypot(u, v)
+
+    def kinetic_energy(self) -> float:
+        """Domain-summed kinetic energy density [m^2/s^2 * cells] (local)."""
+        u = self.local_interior(self.state.u.cur.raw)
+        v = self.local_interior(self.state.v.cur.raw)
+        m = self.local_interior(self.domain.mask_u)
+        return float(np.sum(0.5 * (u * u + v * v) * m))
+
+    def tracer_content(self, which: str = "t") -> float:
+        """Volume-integrated tracer content over the local interior."""
+        fld = self.state.t if which == "t" else self.state.s
+        tr = self.local_interior(fld.cur.raw)
+        m = self.local_interior(self.domain.mask_t)
+        jj, _ = self.domain.interior
+        vol = (self.domain.dx_t[jj] * self.domain.dy)[None, :, None] \
+            * self.domain.dz[:, None, None]
+        return float(np.sum(tr * m * vol))
+
+
+@kokkos_register_for("asselin_filter_2d", ndim=2)
+class _Asselin2D:
+    """2-D Asselin filter body (ssh), sharing the 3-D functor's contract."""
+
+    flops_per_point = 4.0
+    bytes_per_point = 4 * 8.0
+
+    def __init__(self, old: View, cur: View, new: View, alpha: float) -> None:
+        self.old = old
+        self.cur = cur
+        self.new = new
+        self.alpha = alpha
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        o = self.old.data[sj, si]
+        c = self.cur.data[sj, si]
+        n = self.new.data[sj, si]
+        self.cur.data[sj, si] = c + self.alpha * (n - 2.0 * c + o)

@@ -1,0 +1,154 @@
+"""Canuto-style vertical mixing parameterization (paper §V-A, §V-C1).
+
+LICOMK++ introduces the *canuto* scheme (Canuto et al. 2010; Huang et
+al. 2014) for vertical mixing — the second most computationally
+expensive kernel, evaluated column-wise over ocean points only, which
+is what creates the sea-land load imbalance of Fig. 4.
+
+We reproduce the scheme's computational structure faithfully and its
+physics in simplified form (the full second-order closure needs TKE
+prognostics unavailable here; the substitution is documented in
+DESIGN.md):
+
+* local gradient Richardson number ``Ri = N^2 / S^2`` at interfaces,
+  from the density profile and the velocity shear;
+* rational *stability functions* ``S_m(Ri)``, ``S_h(Ri)`` with the
+  Canuto level-2 structure (monotone decreasing, ``S_h`` decaying
+  faster than ``S_m``, finite at ``Ri = 0``, ~``1/Ri`` tails);
+* a surface-intensified mixing-length scale;
+* convective adjustment: large diffusivity wherever ``N^2 < 0``.
+
+Columns shallower than :data:`MIN_CANUTO_LEVELS` are excluded (the red
+points of Fig. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kokkos import View, kokkos_register_for
+from .eos import RHO0
+from .grid import GRAVITY
+from .kernel_utils import TileFunctor, t_at_u
+from .localdomain import LocalDomain
+
+#: Columns with fewer active levels are excluded from the scheme.
+MIN_CANUTO_LEVELS = 3
+
+#: Background (always-on) diffusivities [m^2/s].
+KAPPA_M_BACKGROUND = 1.0e-4
+KAPPA_H_BACKGROUND = 1.0e-5
+
+#: Neutral (Ri = 0) turbulent diffusivities [m^2/s].
+NU0_M = 5.0e-3
+NU0_H = 5.0e-3
+
+#: Convective-adjustment diffusivity [m^2/s].
+KAPPA_CONVECTIVE = 0.1
+
+#: Mixing-length surface decay scale [m].
+MIXING_DEPTH = 250.0
+
+# Canuto level-2 style rational-function coefficients.
+_B1 = 5.0
+_B2 = 12.0   # S_h denominator is quadratic: faster heat cutoff
+_C1 = 1.0
+
+
+def stability_functions(ri: np.ndarray):
+    """(S_m, S_h) rational stability functions of the Richardson number.
+
+    ``S_m = 1 / (1 + B1 Ri)`` and ``S_h = 1 / (1 + B1 Ri + B2 Ri^2)``
+    for ``Ri >= 0``; both saturate at 1 for unstable ``Ri < 0`` (the
+    convective branch is handled separately).  The quadratic term gives
+    heat the sharper cutoff the Canuto closure predicts.
+    """
+    rip = np.maximum(ri, 0.0)
+    s_m = 1.0 / (1.0 + _B1 * rip)
+    s_h = 1.0 / (1.0 + _B1 * rip + _B2 * rip * rip)
+    return s_m, s_h
+
+
+def canuto_column_mask(domain: LocalDomain) -> np.ndarray:
+    """(ly, lx) True where the canuto scheme runs (Fig. 4 blue points)."""
+    return domain.kmt >= MIN_CANUTO_LEVELS
+
+
+@kokkos_register_for("canuto_mixing", ndim=2)
+class CanutoMixFunctor(TileFunctor):
+    """Fill ``kappa_m`` / ``kappa_h`` interface coefficients per column.
+
+    Interface index convention: ``kappa[k]`` couples levels k and k+1
+    (the last index is unused).  Requires valid (u, v) halos for the
+    corner-to-center average.
+    """
+
+    flops_per_point = 90.0
+    bytes_per_point = 10 * 8.0
+
+    def __init__(
+        self,
+        u: View, v: View, rho: View,
+        kappa_m: View, kappa_h: View,
+        domain: LocalDomain,
+    ) -> None:
+        self.u = u
+        self.v = v
+        self.rho = rho
+        self.kappa_m = kappa_m
+        self.kappa_h = kappa_h
+        self.dom = domain
+
+    def __call__(self, j: int, i: int) -> None:
+        self.apply((slice(j, j + 1), slice(i, i + 1)))
+
+    def apply(self, slices) -> None:
+        sj, si = slices
+        d = self.dom
+        nz = d.nz
+        if nz < 2:
+            self.kappa_m.data[:, sj, si] = KAPPA_M_BACKGROUND
+            self.kappa_h.data[:, sj, si] = KAPPA_H_BACKGROUND
+            return
+        sk = slice(0, nz)
+        # velocities averaged to T columns (B-grid corner -> center)
+        ut = t_at_u(self.u.data, sk, sh_back(sj), sh_back(si))
+        vt = t_at_u(self.v.data, sk, sh_back(sj), sh_back(si))
+        rho = self.rho.data[:, sj, si]
+        m = d.mask_t[:, sj, si]
+        dzw = np.diff(d.z_t).reshape(-1, 1, 1)
+
+        n2 = (GRAVITY / RHO0) * (rho[1:] - rho[:-1]) / dzw
+        du = (ut[:-1] - ut[1:]) / dzw
+        dv = (vt[:-1] - vt[1:]) / dzw
+        s2 = du * du + dv * dv + 1.0e-12
+        ri = n2 / s2
+        s_m, s_h = stability_functions(ri)
+        depth_factor = np.exp(-d.z_w[1:nz] / MIXING_DEPTH).reshape(-1, 1, 1)
+
+        kap_m = KAPPA_M_BACKGROUND + NU0_M * s_m * depth_factor
+        kap_h = KAPPA_H_BACKGROUND + NU0_H * s_h * depth_factor
+        convective = n2 < 0.0
+        kap_m = np.where(convective, KAPPA_CONVECTIVE, kap_m)
+        kap_h = np.where(convective, KAPPA_CONVECTIVE, kap_h)
+
+        # exclusions: land interfaces and too-shallow columns
+        open_iface = m[:-1] * m[1:]
+        shallow = (d.kmt[sj, si] < MIN_CANUTO_LEVELS)[None, :, :]
+        kap_m = np.where(shallow, KAPPA_M_BACKGROUND, kap_m) * open_iface
+        kap_h = np.where(shallow, KAPPA_H_BACKGROUND, kap_h) * open_iface
+
+        self.kappa_m.data[:nz - 1, sj, si] = kap_m
+        self.kappa_h.data[:nz - 1, sj, si] = kap_h
+        self.kappa_m.data[nz - 1, sj, si] = 0.0
+        self.kappa_h.data[nz - 1, sj, si] = 0.0
+
+
+def sh_back(s: slice) -> slice:
+    """Shift a tile slice one point back (for corner->center averages).
+
+    ``t_at_u`` averages corners (j, i), (j, i+1), (j+1, i), (j+1, i+1);
+    the T cell (j, i) is surrounded by corners (j-1..j, i-1..i), so the
+    average must start one point back in each direction.
+    """
+    return slice(s.start - 1, s.stop - 1)

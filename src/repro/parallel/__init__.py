@@ -1,0 +1,45 @@
+"""``repro.parallel`` — the distributed-memory substrate.
+
+Simulated MPI (:mod:`.comm`), 2-D block decomposition with tripolar-fold
+topology (:mod:`.decomp`), 2-D/3-D halo updates with the paper's
+pack/unpack and transpose optimizations (:mod:`.halo`,
+:mod:`.halo_transpose`), Canuto load balancing (:mod:`.loadbalance`) and
+computation/communication overlap (:mod:`.overlap`).
+"""
+
+from .comm import Request, SimComm, SimWorld, SingleComm, TrafficLedger
+from .decomp import DEFAULT_HALO, Block, BlockDecomposition, choose_process_grid
+from .halo import (
+    HaloUpdater,
+    PACKERS,
+    exchange2d,
+    exchange3d,
+    pack_kernel,
+    pack_naive,
+    pack_sliced,
+)
+from .halo_transpose import (
+    GHOST_HALO_TRANSPOSES,
+    REAL_HALO_TRANSPOSES,
+    message_counts_3d,
+)
+from .loadbalance import (
+    ImbalanceStats,
+    balanced_column_compute,
+    imbalance_stats,
+    local_ocean_columns,
+    naive_column_compute,
+    partition_evenly,
+)
+from .overlap import boundary_strip, interior_core, overlap_time, overlapped_update
+
+__all__ = [
+    "SimWorld", "SimComm", "SingleComm", "Request", "TrafficLedger",
+    "BlockDecomposition", "Block", "choose_process_grid", "DEFAULT_HALO",
+    "exchange2d", "exchange3d", "HaloUpdater", "PACKERS",
+    "pack_naive", "pack_sliced", "pack_kernel",
+    "REAL_HALO_TRANSPOSES", "GHOST_HALO_TRANSPOSES", "message_counts_3d",
+    "balanced_column_compute", "naive_column_compute", "local_ocean_columns",
+    "partition_evenly", "imbalance_stats", "ImbalanceStats",
+    "overlapped_update", "overlap_time", "interior_core", "boundary_strip",
+]

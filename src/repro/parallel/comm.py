@@ -1,0 +1,364 @@
+"""A deterministic in-process MPI substitute.
+
+The paper's runs span 16 000 GPUs / 38 366 250 Sunway cores over MPI.
+We replace MPI with :class:`SimWorld`: every rank is a Python thread
+executing the same program against a :class:`SimComm` endpoint, with
+mailbox-based point-to-point messaging and rank-ordered (deterministic)
+collectives.  NumPy payloads are copied on send, so the semantics match
+buffered MPI sends; message volumes are recorded in a traffic ledger the
+network cost model consumes.
+
+This gives the ocean model a real distributed-memory structure — blocks
+only see their halo-exchanged neighbours' data — which the test suite
+exploits: multi-rank runs must agree with single-rank runs bit for bit.
+
+Examples
+--------
+>>> def program(comm):
+...     right = (comm.rank + 1) % comm.size
+...     left = (comm.rank - 1) % comm.size
+...     return comm.sendrecv(comm.rank, dest=right, source=left)
+>>> SimWorld.run(program, size=3)
+[2, 0, 1]
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CommunicationError
+
+#: Default seconds a blocking receive waits before declaring deadlock.
+DEFAULT_TIMEOUT = 60.0
+
+
+def _payload_nbytes(obj: Any) -> int:
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, (int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, (tuple, list)):
+        return sum(_payload_nbytes(x) for x in obj)
+    return 64  # generic pickled-object estimate
+
+
+def _copy_payload(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, (list,)):
+        return [_copy_payload(x) for x in obj]
+    if isinstance(obj, tuple):
+        return tuple(_copy_payload(x) for x in obj)
+    if isinstance(obj, dict):
+        return {k: _copy_payload(v) for k, v in obj.items()}
+    return obj
+
+
+@dataclass
+class TrafficLedger:
+    """Accumulated message counts/volumes, for the network model."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    by_pair: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    collectives: int = 0
+
+    def record(self, src: int, dst: int, nbytes: float) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        key = (src, dst)
+        self.by_pair[key] = self.by_pair.get(key, 0.0) + nbytes
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes = 0.0
+        self.by_pair.clear()
+        self.collectives = 0
+
+
+class _Mailbox:
+    """Blocking FIFO for one (src, dst, tag) channel."""
+
+    def __init__(self) -> None:
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+
+    def put(self, item: Any) -> None:
+        with self._cond:
+            self._items.append(item)
+            self._cond.notify_all()
+
+    def get(self, timeout: float) -> Any:
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._items), timeout):
+                raise CommunicationError(
+                    f"receive timed out after {timeout}s (deadlock?)"
+                )
+            return self._items.popleft()
+
+
+class Request:
+    """Handle for a non-blocking operation."""
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._fn = fn
+        self._done = False
+        self._result: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._result = self._fn()
+            self._done = True
+        return self._result
+
+    def test(self) -> bool:
+        """Non-blocking completion probe (best-effort under threads)."""
+        try:
+            self.wait()
+            return True
+        except CommunicationError:
+            return False
+
+
+class SimWorld:
+    """The shared communication fabric for ``size`` simulated ranks."""
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        self.timeout = timeout
+        self.traffic = TrafficLedger()
+        self._boxes: Dict[Tuple[int, int, int], _Mailbox] = {}
+        self._boxes_lock = threading.Lock()
+        self._barrier = threading.Barrier(size)
+        self._coll_lock = threading.Lock()
+        self._coll_slots: Dict[str, List[Any]] = {}
+        self._coll_results: Dict[str, Any] = {}
+        self._coll_seq = 0
+
+    def comm(self, rank: int) -> "SimComm":
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return SimComm(self, rank)
+
+    def _box(self, src: int, dst: int, tag: int) -> _Mailbox:
+        key = (src, dst, tag)
+        with self._boxes_lock:
+            box = self._boxes.get(key)
+            if box is None:
+                box = self._boxes[key] = _Mailbox()
+            return box
+
+    # -- collective rendezvous --------------------------------------------
+
+    def _collective(self, name: str, seq: int, rank: int, value: Any,
+                    combine: Callable[[List[Any]], Any]) -> Any:
+        """Gather one value per rank, apply ``combine`` once, return to all.
+
+        All ranks must call collectives in the same order (standard MPI
+        requirement).  ``seq`` is the caller's collective-call counter;
+        it keys the epoch so back-to-back collectives never collide.
+        """
+        key = (name, seq)
+        with self._coll_lock:
+            slot = self._coll_slots.setdefault(key, [None] * self.size)
+            slot[rank] = (True, value)
+        self._barrier.wait()
+        with self._coll_lock:
+            if key not in self._coll_results:
+                slot = self._coll_slots[key]
+                missing = [i for i, v in enumerate(slot) if v is None]
+                if missing:
+                    raise CommunicationError(
+                        f"collective {name!r} (epoch {seq}): ranks {missing} "
+                        "called a different collective or none at all"
+                    )
+                values = [v[1] for v in slot]
+                self._coll_results[key] = combine(values)
+                self.traffic.collectives += 1
+            result = self._coll_results[key]
+        # Second barrier so cleanup cannot race the next epoch.
+        self._barrier.wait()
+        with self._coll_lock:
+            self._coll_slots.pop(key, None)
+            self._coll_results.pop(key, None)
+        return result
+
+    # -- program runner ----------------------------------------------------
+
+    @staticmethod
+    def run(
+        program: Callable[["SimComm"], Any],
+        size: int,
+        timeout: float = DEFAULT_TIMEOUT,
+        args: Sequence = (),
+    ) -> List[Any]:
+        """Run ``program(comm, *args)`` on ``size`` ranks; return results.
+
+        Exceptions raised on any rank are re-raised on the caller (the
+        first by rank order), after all threads have stopped.
+        """
+        world = SimWorld(size, timeout=timeout)
+        results: List[Any] = [None] * size
+        errors: List[Optional[BaseException]] = [None] * size
+
+        def target(rank: int) -> None:
+            try:
+                results[rank] = program(world.comm(rank), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[rank] = exc
+                # Break barriers so other ranks fail fast instead of hanging.
+                world._barrier.abort()
+
+        threads = [
+            threading.Thread(target=target, args=(r,), name=f"rank{r}")
+            for r in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for exc in errors:
+            if exc is not None:
+                if isinstance(exc, threading.BrokenBarrierError):
+                    continue
+                raise exc
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+
+class SimComm:
+    """One rank's endpoint into a :class:`SimWorld`."""
+
+    def __init__(self, world: SimWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def _next_seq(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Buffered send: the payload is copied and enqueued immediately."""
+        if not (0 <= dest < self.size):
+            raise CommunicationError(f"send to invalid rank {dest}")
+        nbytes = _payload_nbytes(obj)
+        self.world.traffic.record(self.rank, dest, nbytes)
+        self.world._box(self.rank, dest, tag).put(_copy_payload(obj))
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from ``source``."""
+        if not (0 <= source < self.size):
+            raise CommunicationError(f"recv from invalid rank {source}")
+        return self.world._box(source, self.rank, tag).get(self.world.timeout)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)  # buffered: completes immediately
+        return Request(lambda: None)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def sendrecv(self, sendobj: Any, dest: int, source: int,
+                 sendtag: int = 0, recvtag: int = 0) -> Any:
+        """Combined send+receive (deadlock-free under buffered sends)."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives ---------------------------------------------------------
+
+    def barrier(self) -> None:
+        self.world._collective("barrier", self._next_seq(), self.rank, None,
+                               lambda vs: None)
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Elementwise reduction over all ranks, combined in rank order."""
+        def combine(values: List[Any]) -> Any:
+            return _reduce_values(values, op)
+
+        return self.world._collective(f"allreduce_{op}", self._next_seq(),
+                                      self.rank, value, combine)
+
+    def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any:
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        def combine(values: List[Any]) -> Any:
+            return _copy_payload(values[root][1])
+
+        return self.world._collective("bcast", self._next_seq(), self.rank,
+                                      (self.rank == root, obj), combine)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        return self.world._collective(
+            "allgather", self._next_seq(), self.rank, obj,
+            lambda vs: [_copy_payload(v) for v in vs],
+        )
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        result = self.allgather(obj)
+        return result if self.rank == root else None
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        def combine(values: List[Any]) -> Any:
+            send = values[root]
+            if send is None or len(send) != self.size:
+                raise CommunicationError(
+                    "scatter: root must supply one item per rank"
+                )
+            return [_copy_payload(x) for x in send]
+
+        result = self.world._collective(
+            "scatter", self._next_seq(), self.rank,
+            objs if self.rank == root else None, combine,
+        )
+        return result[self.rank]
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise CommunicationError("alltoall needs one item per rank")
+        matrix = self.allgather(list(objs))
+        return [matrix[src][self.rank] for src in range(self.size)]
+
+
+def _reduce_values(values: List[Any], op: str) -> Any:
+    if not values:
+        raise CommunicationError("reduction over no values")
+    ops = {
+        "sum": lambda a, b: a + b,
+        "max": np.maximum,
+        "min": np.minimum,
+        "prod": lambda a, b: a * b,
+    }
+    if op not in ops:
+        raise CommunicationError(f"unknown reduction op {op!r}")
+    fn = ops[op]
+    acc = _copy_payload(values[0])
+    for v in values[1:]:
+        acc = fn(acc, v)
+    return acc
+
+
+class SingleComm(SimComm):
+    """A size-1 communicator usable without spawning a world thread."""
+
+    def __init__(self) -> None:
+        super().__init__(SimWorld(1), 0)

@@ -1,0 +1,263 @@
+"""2-D block domain decomposition with tripolar-fold topology.
+
+LICOM "divides the Earth into horizontal two-dimensional grid blocks,
+with each MPI rank handling one block" (§V-D).  The global horizontal
+grid is ``(ny, nx)`` (j from south to north, i eastward, zonally
+periodic).  Each block carries a halo of width 2: the outermost two
+layers are the *ghost halo* (filled from neighbours) and the next two
+layers of owned data are the *real halo* (sent to neighbours).
+
+Topology:
+
+* **East/west** — cyclic (the global ocean is zonally periodic).
+* **South** — closed (Antarctica); ghost rows are land-filled.
+* **North** — the tripolar fold: the grid's two northern poles sit on
+  land, and row ``j`` beyond the top maps back onto the top rows with
+  the zonal index mirrored (``i -> nx-1-i``).  Vector components flip
+  sign across the fold.  Top-row blocks therefore exchange their
+  northern halos with the *mirror* block in the same row (possibly
+  themselves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DecompositionError
+
+#: Paper halo width: two ghost layers + two real-halo layers.
+DEFAULT_HALO = 2
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rank's owned region of the global grid (no halo)."""
+
+    rank: int
+    py: int
+    px: int
+    j0: int
+    j1: int
+    i0: int
+    i1: int
+
+    @property
+    def nyl(self) -> int:
+        return self.j1 - self.j0
+
+    @property
+    def nxl(self) -> int:
+        return self.i1 - self.i0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nyl, self.nxl)
+
+
+class BlockDecomposition:
+    """Even 2-D split of an ``(ny, nx)`` global grid over ``npy x npx`` ranks.
+
+    Parameters
+    ----------
+    ny, nx:
+        Global grid extents (rows, columns).
+    npy, npx:
+        Process grid.  ``rank = py * npx + px``.
+    halo:
+        Halo width (ghost and real halo layers), default 2 as in LICOM.
+    north_fold:
+        Enable the tripolar fold at the northern boundary.
+    """
+
+    def __init__(
+        self,
+        ny: int,
+        nx: int,
+        npy: int,
+        npx: int,
+        halo: int = DEFAULT_HALO,
+        north_fold: bool = True,
+    ) -> None:
+        if npy < 1 or npx < 1:
+            raise DecompositionError("process grid must be at least 1x1")
+        if ny < npy or nx < npx:
+            raise DecompositionError(
+                f"grid {ny}x{nx} too small for process grid {npy}x{npx}"
+            )
+        self.ny, self.nx = int(ny), int(nx)
+        self.npy, self.npx = int(npy), int(npx)
+        self.halo = int(halo)
+        self.north_fold = north_fold
+        self.size = self.npy * self.npx
+        self._blocks: List[Block] = []
+        for py in range(self.npy):
+            j0 = (self.ny * py) // self.npy
+            j1 = (self.ny * (py + 1)) // self.npy
+            for px in range(self.npx):
+                i0 = (self.nx * px) // self.npx
+                i1 = (self.nx * (px + 1)) // self.npx
+                rank = py * self.npx + px
+                self._blocks.append(Block(rank, py, px, j0, j1, i0, i1))
+        min_extent = min(min(b.nyl, b.nxl) for b in self._blocks)
+        if min_extent < self.halo:
+            raise DecompositionError(
+                f"smallest block extent {min_extent} is below the halo "
+                f"width {self.halo}; use fewer ranks"
+            )
+        if north_fold:
+            # The fold partner must own exactly the mirrored column range.
+            for b in self.top_row_blocks():
+                p = self._fold_partner(b)
+                if p is None:
+                    raise DecompositionError(
+                        f"block {b.rank} has no exact tripolar-fold partner; "
+                        "choose npx so the top-row split is mirror-symmetric"
+                    )
+
+    # -- lookup -------------------------------------------------------------
+
+    def block(self, rank: int) -> Block:
+        """The block owned by ``rank``."""
+        return self._blocks[rank]
+
+    def blocks(self) -> List[Block]:
+        return list(self._blocks)
+
+    def top_row_blocks(self) -> List[Block]:
+        return [b for b in self._blocks if b.py == self.npy - 1]
+
+    def rank_of(self, py: int, px: int) -> int:
+        return py * self.npx + px
+
+    def _fold_partner(self, b: Block) -> Optional[Block]:
+        want = (self.nx - b.i1, self.nx - b.i0)
+        for other in self.top_row_blocks():
+            if (other.i0, other.i1) == want:
+                return other
+        return None
+
+    def neighbors(self, rank: int) -> Dict[str, Optional[int]]:
+        """Neighbour ranks of ``rank``: keys ``e w n s fold``.
+
+        ``n`` is the regular northern neighbour (None on the top row);
+        ``fold`` is the tripolar partner (None except on the top row
+        when ``north_fold``); ``s`` is None on the bottom row (closed).
+        """
+        b = self.block(rank)
+        east = self.rank_of(b.py, (b.px + 1) % self.npx)
+        west = self.rank_of(b.py, (b.px - 1) % self.npx)
+        north = self.rank_of(b.py + 1, b.px) if b.py + 1 < self.npy else None
+        south = self.rank_of(b.py - 1, b.px) if b.py > 0 else None
+        fold = None
+        if self.north_fold and b.py == self.npy - 1:
+            partner = self._fold_partner(b)
+            fold = partner.rank if partner is not None else None
+        return {"e": east, "w": west, "n": north, "s": south, "fold": fold}
+
+    # -- local array helpers --------------------------------------------------
+
+    def local_shape(self, rank: int) -> Tuple[int, int]:
+        """Local 2-D array shape including halos."""
+        b = self.block(rank)
+        return (b.nyl + 2 * self.halo, b.nxl + 2 * self.halo)
+
+    def interior(self, rank: int) -> Tuple[slice, slice]:
+        """Slices selecting the owned region of a local (halo-ed) array."""
+        h = self.halo
+        return (slice(h, -h), slice(h, -h))
+
+    def scatter_global(self, global_arr: np.ndarray, rank: int) -> np.ndarray:
+        """Extract ``rank``'s local array (with zero-filled halos).
+
+        Works for 2-D ``(ny, nx)`` and 3-D ``(nz, ny, nx)`` arrays.
+        """
+        b = self.block(rank)
+        h = self.halo
+        if global_arr.ndim == 2:
+            out = np.zeros(self.local_shape(rank), dtype=global_arr.dtype)
+            out[h:-h, h:-h] = global_arr[b.j0:b.j1, b.i0:b.i1]
+            return out
+        if global_arr.ndim == 3:
+            nz = global_arr.shape[0]
+            ly, lx = self.local_shape(rank)
+            out = np.zeros((nz, ly, lx), dtype=global_arr.dtype)
+            out[:, h:-h, h:-h] = global_arr[:, b.j0:b.j1, b.i0:b.i1]
+            return out
+        raise DecompositionError(
+            f"scatter_global expects 2-D or 3-D arrays, got ndim={global_arr.ndim}"
+        )
+
+    def gather_global(
+        self, locals_: List[np.ndarray], dtype=None
+    ) -> np.ndarray:
+        """Assemble rank-ordered local arrays back into the global array."""
+        if len(locals_) != self.size:
+            raise DecompositionError(
+                f"need {self.size} local arrays, got {len(locals_)}"
+            )
+        h = self.halo
+        first = locals_[0]
+        dtype = dtype or first.dtype
+        if first.ndim == 2:
+            out = np.zeros((self.ny, self.nx), dtype=dtype)
+            for b, loc in zip(self._blocks, locals_):
+                out[b.j0:b.j1, b.i0:b.i1] = loc[h:-h, h:-h]
+            return out
+        nz = first.shape[0]
+        out = np.zeros((nz, self.ny, self.nx), dtype=dtype)
+        for b, loc in zip(self._blocks, locals_):
+            out[:, b.j0:b.j1, b.i0:b.i1] = loc[:, h:-h, h:-h]
+        return out
+
+    # -- land-block analysis (the paper eliminates all-land blocks) ----------
+
+    def land_blocks(self, ocean_mask: np.ndarray) -> List[int]:
+        """Ranks whose blocks contain no ocean points at all."""
+        out = []
+        for b in self._blocks:
+            if not ocean_mask[b.j0:b.j1, b.i0:b.i1].any():
+                out.append(b.rank)
+        return out
+
+    def ocean_points_per_rank(self, ocean_mask: np.ndarray) -> np.ndarray:
+        """Ocean-point count per rank (the §V-C1 load-imbalance metric)."""
+        return np.array(
+            [int(ocean_mask[b.j0:b.j1, b.i0:b.i1].sum()) for b in self._blocks]
+        )
+
+    def imbalance(self, ocean_mask: np.ndarray) -> float:
+        """max/mean ocean-point load ratio over non-empty ranks."""
+        counts = self.ocean_points_per_rank(ocean_mask)
+        mean = counts.mean()
+        return float(counts.max() / mean) if mean > 0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BlockDecomposition({self.ny}x{self.nx} over {self.npy}x{self.npx}"
+            f", halo={self.halo}, fold={self.north_fold})"
+        )
+
+
+def choose_process_grid(ny: int, nx: int, size: int) -> Tuple[int, int]:
+    """Pick ``(npy, npx)`` for ``size`` ranks, preferring square-ish blocks
+    with a mirror-symmetric top-row split (required by the tripolar fold).
+    """
+    best: Optional[Tuple[float, int, int]] = None
+    for npy in range(1, size + 1):
+        if size % npy:
+            continue
+        npx = size // npy
+        if ny < npy or nx < npx:
+            continue
+        # aspect penalty: how far block shape is from square
+        by, bx = ny / npy, nx / npx
+        penalty = abs(np.log(by / bx))
+        cand = (penalty, npy, npx)
+        if best is None or cand < best:
+            best = cand
+    if best is None:
+        raise DecompositionError(f"cannot place {size} ranks on {ny}x{nx}")
+    return best[1], best[2]

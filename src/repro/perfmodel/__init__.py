@@ -1,0 +1,48 @@
+"""``repro.perfmodel`` — the machine model regenerating the evaluation."""
+
+from .machines import MACHINES, MachineSpec, SUPPORT_MATRIX, get_machine, support_matrix_rows
+from .kernelcost import DEFAULT_PROFILE, StepProfile, compute_time_per_step, measure_step_profile
+from .network import (
+    HALO,
+    HaloCost,
+    block_extents,
+    comm_time_per_step,
+    halo_update_cost,
+    polar_fixed_cost,
+)
+from .breakdown import StepBreakdown, format_breakdown_table, step_breakdown
+from .cpe_pipeline import PipelineEstimate, cpe_pipeline_time, double_buffer_speedup
+from .related_work import RELATED_WORK, RelatedWorkPoint, kilometer_scale_realistic_leaders
+from .scheduler import (
+    PlatformOption,
+    choose_platform,
+    format_schedule,
+    throughput_options,
+)
+from .scaling import (
+    CANUTO_IMBALANCE,
+    ScalingPoint,
+    mixed_precision_projection,
+    optimization_speedup,
+    portability_sypd,
+    predict_step_time,
+    predict_sypd,
+    strong_scaling,
+    sypd_from_step_time,
+    weak_scaling,
+)
+
+__all__ = [
+    "MachineSpec", "MACHINES", "SUPPORT_MATRIX", "get_machine", "support_matrix_rows",
+    "StepProfile", "DEFAULT_PROFILE", "measure_step_profile", "compute_time_per_step",
+    "HaloCost", "halo_update_cost", "comm_time_per_step", "polar_fixed_cost",
+    "block_extents", "HALO",
+    "predict_sypd", "predict_step_time", "sypd_from_step_time",
+    "strong_scaling", "weak_scaling", "ScalingPoint",
+    "portability_sypd", "optimization_speedup", "CANUTO_IMBALANCE",
+    "mixed_precision_projection",
+    "StepBreakdown", "step_breakdown", "format_breakdown_table",
+    "PipelineEstimate", "cpe_pipeline_time", "double_buffer_speedup",
+    "PlatformOption", "choose_platform", "throughput_options", "format_schedule",
+    "RELATED_WORK", "RelatedWorkPoint", "kilometer_scale_realistic_leaders",
+]

@@ -1,0 +1,138 @@
+"""Anchor-point calibration of the machine model.
+
+The roofline/alpha-beta model has five calibrated parameters per
+machine — everything else is hardware spec (Table II) or measured from
+the running model:
+
+=================  =====================================================
+Parameter          Meaning
+=================  =====================================================
+mem_efficiency     achieved fraction of device/CG memory bandwidth for
+                   LICOMK++'s scattered stencils
+host_efficiency    ditto for the host-only Fortran LICOM3 baseline
+launch_overhead    per-kernel fixed cost (launch + small-kernel
+                   inefficiency; dominates the latency-bound 100-km
+                   single-node runs)
+polar_factor       magnitude of the non-parallelizable polar pack term
+                   (the Amdahl bottleneck of §V-D, proportional to
+                   nx * nz)
+contention         wire-time growth per log2(nodes) in use
+pack_bw            effective pack/unpack bandwidth
+=================  =====================================================
+
+The constants frozen in :mod:`.machines` are a least-squares fit (in
+log space, Nelder-Mead) against these anchors:
+
+* Fig. 7 single-node SYPD, Kokkos and Fortran (all four machines);
+* Table V 1-km and 2-km strong-scaling SYPD (ORISE and New Sunway);
+* Fig. 9 weak-scaling final efficiency (ORISE 85.6 %, Sunway 91.2 %).
+
+The ORISE 10-km curve is internally inconsistent with the 1-km curve in
+absolute per-point cost (43 vs 4.5 ns/point in the paper's own Table V)
+and is therefore *not* fitted — it is reported as a known deviation in
+EXPERIMENTS.md.  Everything not in the anchor list — who wins, the
+weak-vs-strong contrast, intermediate points, optimized-vs-original
+ratios at 2 km — is prediction, not fit.
+
+:func:`validate_all` recomputes every anchor with the frozen constants;
+the test-suite asserts the agreements documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..ocean.config import PAPER_CONFIGS, WEAK_SCALING_CONFIGS
+from .machines import MACHINES
+from .scaling import portability_sypd, predict_sypd, strong_scaling, weak_scaling
+
+#: Fig. 7 anchors: (kokkos SYPD, fortran SYPD) on one node at 100 km.
+FIG7_ANCHORS: Dict[str, Tuple[float, float]] = {
+    "gpu_workstation": (317.73, 317.73 / 7.08),
+    "orise": (180.56, 180.56 / 11.42),
+    "new_sunway": (22.22, 22.22 / 11.45),
+    "taishan": (63.01, 63.01 / 1.03),
+}
+
+#: Table V strong-scaling anchors: config -> (units, paper SYPD values).
+#: Sunway unit counts are cores / 65 (1 MPE + 64 CPEs per rank).
+STRONG_ANCHORS: Dict[str, List[Tuple[str, Tuple[int, ...], Tuple[float, ...]]]] = {
+    "orise": [
+        ("eddy_10km", (40, 160, 320, 640, 1000),
+         (1.009, 3.984, 6.880, 10.794, 13.543)),
+        ("km_2km_fulldepth", (4000, 8000, 12000, 16000),
+         (0.912, 1.386, 1.577, 1.779)),
+        ("km_1km", (4000, 8000, 12000, 16000),
+         (0.765, 1.248, 1.486, 1.701)),
+    ],
+    "new_sunway": [
+        ("eddy_10km", (160, 300, 480, 780, 1560),
+         (0.437, 0.780, 1.165, 1.761, 3.312)),
+        ("km_2km_fulldepth", (78000, 159480, 288000, 576000),
+         (0.264, 0.456, 0.692, 0.992)),
+        ("km_1km", (77750, 155520, 307800, 590250),
+         (0.252, 0.426, 0.709, 1.047)),
+    ],
+}
+
+#: Fig. 9 weak-scaling final efficiencies at 1 km.
+WEAK_ANCHORS: Dict[str, float] = {"orise": 0.856, "new_sunway": 0.912}
+
+
+@dataclass(frozen=True)
+class AnchorCheck:
+    """One paper-vs-model comparison row."""
+
+    machine: str
+    anchor: str
+    paper: float
+    predicted: float
+
+    @property
+    def ratio(self) -> float:
+        return self.predicted / self.paper if self.paper else float("inf")
+
+
+def weak_cases(machine: str):
+    """Table IV (config, ranks) pairs for a machine."""
+    if machine == "new_sunway":
+        return [(c, cores // 65) for c, _gpus, cores in WEAK_SCALING_CONFIGS]
+    return [(c, gpus) for c, gpus, _cores in WEAK_SCALING_CONFIGS]
+
+
+def validate_all() -> List[AnchorCheck]:
+    """Recompute every anchor with the frozen calibration constants."""
+    cfg100 = PAPER_CONFIGS["coarse_100km"]
+    rows: List[AnchorCheck] = []
+    for name, (k_target, f_target) in FIG7_ANCHORS.items():
+        k, f, _ = portability_sypd(cfg100, name)
+        rows.append(AnchorCheck(name, "fig7_kokkos_sypd", k_target, k))
+        rows.append(AnchorCheck(name, "fig7_fortran_sypd", f_target, f))
+    for name, curves in STRONG_ANCHORS.items():
+        for cfg_name, units, targets in curves:
+            cfg = PAPER_CONFIGS[cfg_name]
+            for u, t in zip(units, targets):
+                rows.append(AnchorCheck(
+                    name, f"tableV_{cfg_name}_{u}u_sypd", t,
+                    predict_sypd(cfg, name, u)))
+            eff = strong_scaling(cfg, name, units)[-1].efficiency
+            paper_eff = (targets[-1] / targets[0]) / (units[-1] / units[0])
+            rows.append(AnchorCheck(
+                name, f"tableV_{cfg_name}_final_efficiency", paper_eff, eff))
+    for name, eff_target in WEAK_ANCHORS.items():
+        eff = weak_scaling(name, weak_cases(name))[-1].efficiency
+        rows.append(AnchorCheck(name, "fig9_weak_final_efficiency", eff_target, eff))
+    return rows
+
+
+def validation_report() -> str:
+    """Human-readable paper-vs-model table (EXPERIMENTS.md source)."""
+    rows = validate_all()
+    lines = [f"{'machine':<16s} {'anchor':<40s} {'paper':>10s} {'model':>10s} {'ratio':>7s}"]
+    for r in rows:
+        lines.append(
+            f"{r.machine:<16s} {r.anchor:<40s} {r.paper:>10.3f} "
+            f"{r.predicted:>10.3f} {r.ratio:>7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""CPE DMA-pipeline model: the §V-C2 double-buffering optimization.
+
+For ``advection_tracer`` on Sunway, the paper adopts "a double-buffered
+technique that leverages the asynchronous mechanism of the Sunway
+architecture between the CPE workload execution and DMA transfers".
+This module prices a kernel's tile sweep through one CPE's pipeline:
+
+* tile working set sized to LDM (via
+  :func:`repro.kokkos.ldm.max_tile_points`, which reserves one buffer
+  per pipeline stage),
+* per-tile DMA time = descriptor latency + bytes / CG bandwidth share,
+* per-tile compute time from the functor's declared flops/bytes,
+* total sweep time from :func:`repro.kokkos.ldm.double_buffered_time`.
+
+The A5 ablation benchmark sweeps arithmetic intensity and buffer count
+to show where double buffering pays (its gain approaches 2x when DMA
+and compute are balanced, and fades when either dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kokkos.ldm import (
+    DMAEngine,
+    SW26010_LDM_BYTES,
+    double_buffered_time,
+    max_tile_points,
+)
+from .machines import get_machine
+
+
+@dataclass(frozen=True)
+class PipelineEstimate:
+    """Cost of one kernel launch on one CPE's share of a core group."""
+
+    tiles: int
+    tile_points: int
+    compute_per_tile: float
+    transfer_per_tile: float
+    total_time: float
+    buffers: int
+
+    @property
+    def dma_bound(self) -> bool:
+        return self.transfer_per_tile > self.compute_per_tile
+
+
+def cpe_pipeline_time(
+    points: int,
+    bytes_per_point: float,
+    flops_per_point: float,
+    buffers: int = 2,
+    num_cpes: int = 64,
+    ldm_bytes: int = SW26010_LDM_BYTES,
+    cpe_flops: float = 8.0e9,
+    dma: DMAEngine | None = None,
+    tile_points: int | None = None,
+) -> PipelineEstimate:
+    """Estimate a tile sweep's wall time on one CPE.
+
+    ``points`` is the rank's iteration count; each CPE handles
+    ``points / num_cpes`` of it in LDM-sized tiles.  ``cpe_flops`` is a
+    single CPE's double-precision throughput; the DMA engine defaults to
+    the SW26010 Pro's CG memory system shared evenly across the CPEs.
+    """
+    if dma is None:
+        machine = get_machine("new_sunway")
+        dma = DMAEngine(bandwidth=machine.mem_bw_unit / num_cpes)
+    my_points = max(1, -(-points // num_cpes))
+    if tile_points is None:
+        # real CPE codes keep tiles well below the LDM ceiling so the
+        # pipeline has enough stages to fill; 512 points is typical
+        tile_points = min(512, max_tile_points(bytes_per_point, ldm_bytes,
+                                               buffers=max(1, buffers)))
+    tile_pts = min(my_points, tile_points)
+    tiles = -(-my_points // tile_pts)
+    transfer = dma.transfer_time(tile_pts * bytes_per_point)
+    compute = tile_pts * flops_per_point / cpe_flops
+    total = double_buffered_time(compute, transfer, tiles, buffers=buffers)
+    return PipelineEstimate(
+        tiles=tiles,
+        tile_points=tile_pts,
+        compute_per_tile=compute,
+        transfer_per_tile=transfer,
+        total_time=total,
+        buffers=buffers,
+    )
+
+
+def double_buffer_speedup(
+    points: int, bytes_per_point: float, flops_per_point: float,
+    tile_points: int | None = None,
+) -> float:
+    """Single- vs double-buffered sweep-time ratio for one kernel."""
+    single = cpe_pipeline_time(points, bytes_per_point, flops_per_point,
+                               buffers=1, tile_points=tile_points)
+    double = cpe_pipeline_time(points, bytes_per_point, flops_per_point,
+                               buffers=2, tile_points=tile_points)
+    return single.total_time / double.total_time

@@ -1,0 +1,163 @@
+"""Machine registry: Tables I and II of the paper.
+
+Four systems, one :class:`MachineSpec` each.  A *unit* is the natural
+per-rank compute resource: one GPU (workstation, ORISE), one core group
+(new Sunway: 1 MPE + 64 CPEs), or one core pair (Taishan).  The specs
+follow Table II and §VI-A; values not printed in the paper (e.g. DP
+peak of the HIP GPU) use the public figures of the named comparable
+part (AMD MI60).
+
+``EFFICIENCY_*`` factors are the per-machine calibration constants of
+the roofline model: the achieved fraction of peak memory bandwidth for
+LICOMK++'s scattered stencil access.  They are fitted once against the
+paper's single-node Fig. 7 anchors (see ``calibration.py``) and reused
+unchanged for every scaling prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import UnknownMachineError
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One system of Table II."""
+
+    name: str
+    description: str
+    programming_model: str          # Table I intranode model
+    kokkos_support: str             # Table I Kokkos column
+    units_per_node: int             # GPUs / core groups / ... per node
+    cores_per_unit: int             # for "cores" accounting (Sunway: 65)
+    peak_flops_unit: float          # DP flops/s per unit
+    mem_bw_unit: float              # bytes/s per unit
+    launch_overhead: float          # s per kernel launch
+    host_bw: float                  # bytes/s host memory (pack/unpack path)
+    host_device_bw: Optional[float]  # bytes/s PCIe/DMA (None if unified)
+    net_bw: float                   # bytes/s injection per node
+    net_latency: float              # s per message
+    mem_efficiency: float           # achieved fraction of mem_bw (calibrated)
+    host_efficiency: float          # ditto for the Fortran/host baseline
+    polar_factor: float = 1.0       # polar pack Amdahl-term multiplier (calibrated)
+    contention: float = 0.0         # wire-time growth per log2(nodes) (calibrated)
+    pack_bw: Optional[float] = None  # effective pack/unpack bandwidth (calibrated;
+                                     # defaults to host_bw)
+
+    @property
+    def effective_pack_bw(self) -> float:
+        return self.pack_bw if self.pack_bw is not None else self.host_bw
+
+    @property
+    def effective_bw_unit(self) -> float:
+        return self.mem_bw_unit * self.mem_efficiency
+
+    def cores(self, units: int) -> int:
+        return units * self.cores_per_unit
+
+
+#: The four systems of Table II.  ``mem_efficiency`` / ``host_efficiency``
+#: come from the Fig. 7 calibration (see EXPERIMENTS.md for the fit).
+MACHINES: Dict[str, MachineSpec] = {
+    "gpu_workstation": MachineSpec(
+        name="gpu_workstation",
+        description="2x Xeon Gold 6240R + 4x Tesla V100 (CUDA)",
+        programming_model="CUDA",
+        kokkos_support="Yes",
+        units_per_node=4,
+        cores_per_unit=1,
+        peak_flops_unit=7.0e12,
+        mem_bw_unit=887.9e9,          # paper, §VII-D
+        launch_overhead=8.0e-6,
+        host_bw=2.0e11,
+        host_device_bw=12.0e9,
+        net_bw=12.5e9,
+        net_latency=2.0e-6,
+        mem_efficiency=0.05509,       # calibrated: Fig 7, 317.73 SYPD
+        host_efficiency=0.12621,      # calibrated: Fig 7, 7.08x speedup
+    ),
+    "orise": MachineSpec(
+        name="orise",
+        description="4-way 8-core x86 CPU + 4x HIP GPGPU (~MI60) per node",
+        programming_model="HIP",
+        kokkos_support="Yes",
+        units_per_node=4,
+        cores_per_unit=1,
+        peak_flops_unit=6.6e12,
+        mem_bw_unit=1024.0e9,         # MI60-class HBM2
+        launch_overhead=325.8e-6,     # calibrated: per-kernel fixed cost
+        host_bw=1.0e11,
+        host_device_bw=16.0e9,        # paper: 32-bit PCIe DMA, 16 GB/s
+        net_bw=25.0e9,                # paper: 25 GB/s network
+        net_latency=3.0e-6,
+        mem_efficiency=0.32974,       # calibrated: Table V 1-km anchors
+        host_efficiency=0.08852,      # calibrated: Fig 7, 11.42x speedup
+        polar_factor=0.5229,          # calibrated: Table V 1-km efficiency
+        contention=0.0003,            # calibrated: Fig 9 weak scaling
+        pack_bw=101.0e9,              # calibrated: pack/unpack path
+    ),
+    "new_sunway": MachineSpec(
+        name="new_sunway",
+        description="SW26010 Pro: 6 core groups x (1 MPE + 64 CPEs), Athread",
+        programming_model="Athread",
+        kokkos_support="Yes (This work)",
+        units_per_node=6,             # core groups per processor/node
+        cores_per_unit=65,            # 1 MPE + 64 CPEs
+        peak_flops_unit=575.0e9,      # ~3.45 Tflops/processor over 6 CGs
+        mem_bw_unit=51.2e9,           # paper: 51.2 GB/s per CG
+        launch_overhead=328.8e-6,     # calibrated: CPE spawn + registry match
+        host_bw=51.2e9,
+        host_device_bw=None,          # unified memory space (paper §V-B)
+        net_bw=14.0e9,
+        net_latency=4.0e-6,
+        mem_efficiency=0.05026,       # calibrated: Table V 1-km anchors
+        host_efficiency=0.02116,      # calibrated: Fig 7, 11.45x speedup
+        polar_factor=0.0951,          # calibrated: Table V 1-km efficiency
+        contention=0.0,               # calibrated: Fig 9 weak scaling
+        pack_bw=49.588e9,             # MPE-side pack bandwidth
+    ),
+    "taishan": MachineSpec(
+        name="taishan",
+        description="2x Huawei Taishan 2280 (128 ARM cores), OpenMP",
+        programming_model="OpenMP",
+        kokkos_support="Yes",
+        units_per_node=64,            # model ranks (2 cores per rank)
+        cores_per_unit=2,
+        peak_flops_unit=4.2e10,
+        mem_bw_unit=5.3e9,            # ~340 GB/s node over 64 units
+        launch_overhead=1.0e-6,
+        host_bw=3.4e11,
+        host_device_bw=None,
+        net_bw=12.5e9,
+        net_latency=2.0e-6,
+        mem_efficiency=0.10435,       # calibrated: Fig 7, 63.01 SYPD
+        host_efficiency=0.10096,      # calibrated: Fig 7, 1.03x speedup
+    ),
+}
+
+#: Table I — programming models and Kokkos support of the major modern
+#: architectures in the TOP500 since 2010.
+SUPPORT_MATRIX: Tuple[Tuple[str, str, str], ...] = (
+    ("Intel coprocessors", "OpenMP", "Yes"),
+    ("ARM CPUs", "OpenMP", "Yes"),
+    ("NVIDIA GPUs", "CUDA", "Yes"),
+    ("AMD GPUs", "HIP", "Yes"),
+    ("Sunway many-cores", "Athread", "Yes (This work)"),
+)
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine by name (raises :class:`UnknownMachineError`)."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise UnknownMachineError(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        ) from None
+
+
+def support_matrix_rows() -> Tuple[Tuple[str, str, str], ...]:
+    """Table I rows as (architecture, programming model, Kokkos support)."""
+    return SUPPORT_MATRIX

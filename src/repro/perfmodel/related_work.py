@@ -1,0 +1,79 @@
+"""Fig. 2 — the high-resolution ocean-modelling landscape (§IV).
+
+A structured dataset of the prior large-scale efforts the paper plots,
+plus this work's two points.  The figure regenerator prints/plots
+resolution vs SYPD with system annotations; the test-suite checks the
+claim the figure makes: LICOMK++ is the only *realistic global* ocean
+model at kilometre resolution above 1 SYPD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RelatedWorkPoint:
+    """One system in the Fig. 2 landscape."""
+
+    name: str
+    year: int
+    system: str
+    resolution_km: float
+    sypd: float
+    resources: str
+    realistic: bool          # realistic global ocean setup?
+    ocean: bool              # ocean model (vs atmosphere)?
+    this_work: bool = False
+
+
+RELATED_WORK: Tuple[RelatedWorkPoint, ...] = (
+    RelatedWorkPoint(
+        "POP2 (Zeng et al.)", 2020, "Sunway TaihuLight", 10.0, 5.5,
+        "1,189,500 cores", realistic=True, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "Veros", 2021, "NVIDIA A100", 10.0, 0.8,
+        "16 A100 GPUs", realistic=True, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "swNEMO_v4.0", 2022, "New Sunway", 0.5, 0.42,
+        "27,988,480 cores", realistic=True, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "Oceananigans (realistic)", 2023, "Perlmutter", 1.2, 0.3,
+        "A100 GPUs", realistic=True, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "Oceananigans (idealized)", 2023, "Perlmutter", 0.488, 0.041,
+        "768 A100 GPUs", realistic=False, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "HOMMEXX / E3SM dycore", 2020, "Summit", 3.0, 0.97,
+        "full Summit", realistic=True, ocean=False,
+    ),
+    RelatedWorkPoint(
+        "SCREAM / E3SM atmosphere", 2023, "Frontier", 3.25, 1.26,
+        "full Frontier", realistic=True, ocean=False,
+    ),
+    RelatedWorkPoint(
+        "LICOM3-Kokkos", 2024, "HIP GPUs", 5.0, 3.4,
+        "4,096 HIP GPUs", realistic=True, ocean=True,
+    ),
+    RelatedWorkPoint(
+        "LICOMK++ (this work)", 2024, "New Sunway", 1.0, 1.047,
+        "38,366,250 cores", realistic=True, ocean=True, this_work=True,
+    ),
+    RelatedWorkPoint(
+        "LICOMK++ (this work)", 2024, "ORISE", 1.0, 1.701,
+        "16,000 HIP GPUs", realistic=True, ocean=True, this_work=True,
+    ),
+)
+
+
+def kilometer_scale_realistic_leaders() -> Tuple[RelatedWorkPoint, ...]:
+    """Realistic global *ocean* models at <= 1.2 km resolution."""
+    return tuple(
+        p for p in RELATED_WORK if p.ocean and p.realistic and p.resolution_km <= 1.2
+    )

@@ -1,0 +1,215 @@
+"""SYPD prediction and scaling sweeps (Figs 7-9, Table V).
+
+Combines the measured step profile (:mod:`.kernelcost`), the machine
+registry (:mod:`.machines`) and the communication model
+(:mod:`.network`) into end-to-end throughput predictions:
+
+    SYPD = 86400 / (365 * steps_per_day * T_step)
+
+with ``T_step = T_compute + T_comm`` for the slowest rank.  The same
+functions drive the strong-scaling (Fig. 8 / Table V), weak-scaling
+(Fig. 9), single-node portability (Fig. 7) and optimization-ablation
+(§VIII, 2.7x / 3.9x) reproductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..ocean.config import ModelConfig
+from .kernelcost import DEFAULT_PROFILE, StepProfile, compute_time_per_step
+from .machines import MachineSpec, get_machine
+from .network import block_extents, comm_time_per_step
+
+#: Canuto load-imbalance step inflation when NOT load-balanced (§V-C1).
+CANUTO_IMBALANCE = 1.12
+
+
+def predict_step_time(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    units: int,
+    optimized: bool = True,
+    fortran: bool = False,
+    profile: StepProfile = DEFAULT_PROFILE,
+    precision: str = "double",
+) -> float:
+    """Wall seconds per baroclinic step on ``units`` ranks (slowest rank).
+
+    ``precision="single"`` models the SViii mixed-precision projection:
+    memory traffic (compute, halos, polar pack) halves while flop rate
+    and message counts are unchanged.
+    """
+    machine = get_machine(machine) if isinstance(machine, str) else machine
+    if units < 1:
+        raise ValueError("need at least one compute unit")
+    if precision not in ("double", "single"):
+        raise ValueError(f"precision must be double/single, got {precision!r}")
+    word = 8.0 if precision == "double" else 4.0
+    if precision == "single":
+        from dataclasses import replace as _replace
+
+        profile = _replace(profile, bytes3=profile.bytes3 * 0.5,
+                           bytes2_sub=profile.bytes2_sub * 0.5)
+    n3 = cfg.grid_points / units
+    n2 = cfg.horizontal_points / units
+    nsub = cfg.barotropic_substeps
+    t_comp = compute_time_per_step(profile, machine, n3, n2, nsub, fortran=fortran)
+    lb = 1.0 if optimized else CANUTO_IMBALANCE
+    t_comm = comm_time_per_step(
+        machine,
+        cfg,
+        units,
+        profile.halo3_per_step,
+        profile.halo2_per_sub,
+        compute3_time=t_comp,
+        optimized=optimized,
+        loadbalance_factor=lb,
+        word_bytes=word,
+    )
+    if units == 1:
+        t_comm = 0.0
+    return t_comp + t_comm
+
+
+def sypd_from_step_time(cfg: ModelConfig, t_step: float) -> float:
+    """Simulated years per wall-clock day given seconds per step."""
+    steps_per_day = 86400.0 / cfg.dt_baroclinic
+    wall_per_simday = steps_per_day * t_step
+    return 86400.0 / (wall_per_simday * 365.0)
+
+
+def predict_sypd(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    units: int,
+    optimized: bool = True,
+    fortran: bool = False,
+    profile: StepProfile = DEFAULT_PROFILE,
+    precision: str = "double",
+) -> float:
+    """End-to-end SYPD prediction."""
+    m = get_machine(machine) if isinstance(machine, str) else machine
+    return sypd_from_step_time(
+        cfg, predict_step_time(cfg, m, units, optimized, fortran, profile,
+                               precision=precision)
+    )
+
+
+def mixed_precision_projection(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    units: int,
+    profile: StepProfile = DEFAULT_PROFILE,
+) -> Tuple[float, float, float]:
+    """(double SYPD, single SYPD, speedup) — the SViii projection."""
+    d = predict_sypd(cfg, machine, units, profile=profile)
+    s = predict_sypd(cfg, machine, units, profile=profile, precision="single")
+    return d, s, s / d
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of a scaling table."""
+
+    units: int
+    cores: int
+    sypd: float
+    efficiency: float   # relative to the sweep's first point
+
+
+def strong_scaling(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    unit_counts: Sequence[int],
+    optimized: bool = True,
+    profile: StepProfile = DEFAULT_PROFILE,
+) -> List[ScalingPoint]:
+    """Fixed problem, growing resources (Fig. 8 / Table V).
+
+    Parallel efficiency is computed exactly as the paper does: the
+    speedup relative to the smallest configuration divided by the
+    resource ratio.
+    """
+    m = get_machine(machine) if isinstance(machine, str) else machine
+    rows: List[ScalingPoint] = []
+    base_sypd: Optional[float] = None
+    base_units: Optional[int] = None
+    for units in unit_counts:
+        sypd = predict_sypd(cfg, m, units, optimized=optimized, profile=profile)
+        if base_sypd is None:
+            base_sypd, base_units = sypd, units
+            eff = 1.0
+        else:
+            eff = (sypd / base_sypd) / (units / base_units)
+        rows.append(
+            ScalingPoint(units=units, cores=m.cores(units), sypd=sypd, efficiency=eff)
+        )
+    return rows
+
+
+def weak_scaling(
+    machine: MachineSpec | str,
+    cases: Sequence[Tuple[ModelConfig, int]],
+    optimized: bool = True,
+    profile: StepProfile = DEFAULT_PROFILE,
+) -> List[ScalingPoint]:
+    """Growing problem with (nearly) fixed per-rank load (Fig. 9).
+
+    Weak efficiency follows the paper: the per-step *grind time*
+    normalised by the per-rank workload, relative to the first case —
+    so a perfectly weak-scaling code scores 1.0 even though the time
+    steps are identical across cases (Table IV keeps dt fixed).
+    """
+    m = get_machine(machine) if isinstance(machine, str) else machine
+    rows: List[ScalingPoint] = []
+    base: Optional[float] = None
+    for cfg, units in cases:
+        t = predict_step_time(cfg, m, units, optimized=optimized, profile=profile)
+        per_rank = cfg.grid_points / units
+        grind = t / per_rank          # seconds per point per step
+        if base is None:
+            base = grind
+        eff = base / grind
+        rows.append(
+            ScalingPoint(
+                units=units,
+                cores=m.cores(units),
+                sypd=sypd_from_step_time(cfg, t),
+                efficiency=eff,
+            )
+        )
+    return rows
+
+
+def single_node_units(machine: MachineSpec) -> int:
+    """Ranks used in the paper's single-node Fig. 7 runs."""
+    return machine.units_per_node
+
+
+def portability_sypd(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    profile: StepProfile = DEFAULT_PROFILE,
+) -> Tuple[float, float, float]:
+    """(kokkos_sypd, fortran_sypd, speedup) for one platform (Fig. 7)."""
+    m = get_machine(machine) if isinstance(machine, str) else machine
+    units = single_node_units(m)
+    kokkos = predict_sypd(cfg, m, units, profile=profile)
+    fortran = predict_sypd(cfg, m, units, fortran=True, profile=profile)
+    return kokkos, fortran, kokkos / fortran
+
+
+def optimization_speedup(
+    cfg: ModelConfig,
+    machine: MachineSpec | str,
+    units: int,
+    profile: StepProfile = DEFAULT_PROFILE,
+) -> float:
+    """Optimized-vs-original step-time ratio (§VIII: 2.7x at 2 km,
+    3.9x at 1 km on the near-full Sunway system)."""
+    m = get_machine(machine) if isinstance(machine, str) else machine
+    t_opt = predict_step_time(cfg, m, units, optimized=True, profile=profile)
+    t_orig = predict_step_time(cfg, m, units, optimized=False, profile=profile)
+    return t_orig / t_opt

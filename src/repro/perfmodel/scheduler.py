@@ -1,0 +1,137 @@
+"""Cross-platform scheduling (the paper's §VIII "computing power network").
+
+The paper closes by arguing that performance portability enables
+"flexible scheduling of applications across regions, architectures, and
+operational entities": given several heterogeneous machines, pick the
+platform and scale that meet a simulation's requirement at the least
+cost.  This module implements that selection on top of the calibrated
+machine model:
+
+* :func:`throughput_options` — for each available machine, the smallest
+  unit count that reaches a target SYPD (or its best achievable SYPD).
+* :func:`choose_platform` — the cheapest option by a resource metric
+  (core-hours or unit-hours per simulated year).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..ocean.config import ModelConfig
+from .machines import get_machine
+from .scaling import predict_sypd
+
+
+@dataclass(frozen=True)
+class PlatformOption:
+    """One feasible (machine, units) assignment."""
+
+    machine: str
+    units: int
+    cores: int
+    sypd: float
+    meets_target: bool
+    #: Core-hours consumed per simulated year at this throughput.
+    core_hours_per_sim_year: float
+
+    @property
+    def unit_hours_per_sim_year(self) -> float:
+        return self.core_hours_per_sim_year * self.units / max(self.cores, 1)
+
+
+def _min_units_for_target(
+    cfg: ModelConfig, machine: str, target_sypd: float, max_units: int
+) -> Optional[int]:
+    """Smallest unit count reaching ``target_sypd`` (bisection; None if
+    even ``max_units`` falls short)."""
+    if predict_sypd(cfg, machine, max_units) < target_sypd:
+        return None
+    lo, hi = 1, max_units
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if predict_sypd(cfg, machine, mid) >= target_sypd:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def throughput_options(
+    cfg: ModelConfig,
+    available: Dict[str, int],
+    target_sypd: float,
+) -> List[PlatformOption]:
+    """Evaluate every available machine against the throughput target.
+
+    ``available`` maps machine name -> maximum units the operator can
+    allocate.  Machines that cannot reach the target contribute their
+    best-effort option (``meets_target=False``).
+    """
+    options: List[PlatformOption] = []
+    for name, max_units in available.items():
+        spec = get_machine(name)
+        units = _min_units_for_target(cfg, name, target_sypd, max_units)
+        meets = units is not None
+        if units is None:
+            units = max_units
+        sypd = predict_sypd(cfg, name, units)
+        wall_hours_per_year = 24.0 / sypd
+        options.append(PlatformOption(
+            machine=name,
+            units=units,
+            cores=spec.cores(units),
+            sypd=sypd,
+            meets_target=meets,
+            core_hours_per_sim_year=wall_hours_per_year * spec.cores(units),
+        ))
+    return options
+
+
+def choose_platform(
+    cfg: ModelConfig,
+    available: Dict[str, int],
+    target_sypd: float,
+    metric: str = "unit_hours",
+) -> PlatformOption:
+    """Pick the cheapest platform meeting ``target_sypd``.
+
+    ``metric`` is ``"unit_hours"`` (GPU/CG-hours per simulated year) or
+    ``"core_hours"``.  Falls back to the highest-throughput option when
+    no machine meets the target.
+
+    Raises
+    ------
+    ValueError
+        When ``available`` is empty or the metric is unknown.
+    """
+    if not available:
+        raise ValueError("no machines available")
+    if metric not in ("unit_hours", "core_hours"):
+        raise ValueError(f"unknown metric {metric!r}")
+    options = throughput_options(cfg, available, target_sypd)
+    feasible = [o for o in options if o.meets_target]
+    if not feasible:
+        return max(options, key=lambda o: o.sypd)
+    key = (lambda o: o.unit_hours_per_sim_year) if metric == "unit_hours" \
+        else (lambda o: o.core_hours_per_sim_year)
+    return min(feasible, key=key)
+
+
+def format_schedule(cfg: ModelConfig, available: Dict[str, int],
+                    target_sypd: float) -> str:
+    """Render the §VIII platform-selection table."""
+    options = throughput_options(cfg, available, target_sypd)
+    choice = choose_platform(cfg, available, target_sypd)
+    lines = [
+        f"target: {target_sypd} SYPD on {cfg.name}",
+        f"{'machine':<16s} {'units':>8s} {'cores':>11s} {'SYPD':>7s} "
+        f"{'feasible':>9s} {'unit-h/SY':>11s}",
+    ]
+    for o in sorted(options, key=lambda o: o.unit_hours_per_sim_year):
+        mark = " <== chosen" if o.machine == choice.machine else ""
+        lines.append(
+            f"{o.machine:<16s} {o.units:>8d} {o.cores:>11d} {o.sypd:>7.3f} "
+            f"{str(o.meets_target):>9s} {o.unit_hours_per_sim_year:>11.0f}{mark}"
+        )
+    return "\n".join(lines)

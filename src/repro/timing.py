@@ -1,0 +1,132 @@
+"""Hierarchical wall-clock timers in the style of GPTL.
+
+The paper measures everything with the GPTL and C++ ``chrono`` libraries
+(§VI-C).  This module provides the Python analog: named, nestable timers
+with call counts, inclusive wall time, and a report sorted by cost.  The
+top-level daily loop of the ocean model is timed with these, and I/O /
+initialization regions are excluded exactly as in the paper.
+
+Examples
+--------
+>>> t = TimerRegistry()
+>>> with t.timer("step"):
+...     with t.timer("baroclinic"):
+...         pass
+>>> t.count("step")
+1
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class TimerNode:
+    """Accumulated statistics for one named timer."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    child_names: List[str] = field(default_factory=list)
+    _start: Optional[float] = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per start/stop interval (0 when never run)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TimerRegistry:
+    """A GPTL-like registry of named hierarchical timers.
+
+    Timers nest: the registry tracks the active stack so that the report
+    can show parent/child structure.  Re-entrant use of the same name is
+    allowed and accumulates.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._nodes: Dict[str, TimerNode] = {}
+        self._stack: List[str] = []
+
+    def _node(self, name: str) -> TimerNode:
+        node = self._nodes.get(name)
+        if node is None:
+            node = self._nodes[name] = TimerNode(name)
+        return node
+
+    def start(self, name: str) -> None:
+        """Start the timer ``name`` (pushing it onto the nesting stack)."""
+        node = self._node(name)
+        if self._stack:
+            parent = self._nodes[self._stack[-1]]
+            if name not in parent.child_names:
+                parent.child_names.append(name)
+        node._start = self._clock()
+        self._stack.append(name)
+
+    def stop(self, name: str) -> float:
+        """Stop timer ``name`` and return the elapsed interval in seconds."""
+        if not self._stack or self._stack[-1] != name:
+            raise ValueError(
+                f"timer stop({name!r}) does not match innermost active timer "
+                f"({self._stack[-1]!r} active)" if self._stack else
+                f"timer stop({name!r}) with no active timer"
+            )
+        node = self._nodes[name]
+        if node._start is None:
+            raise ValueError(f"timer {name!r} was not started")
+        elapsed = self._clock() - node._start
+        node._start = None
+        node.count += 1
+        node.total += elapsed
+        self._stack.pop()
+        return elapsed
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[TimerNode]:
+        """Context manager: time the enclosed block under ``name``."""
+        self.start(name)
+        try:
+            yield self._nodes[name]
+        finally:
+            self.stop(name)
+
+    def total(self, name: str) -> float:
+        """Total inclusive seconds accumulated by ``name`` (0 if unknown)."""
+        node = self._nodes.get(name)
+        return node.total if node else 0.0
+
+    def count(self, name: str) -> int:
+        """Number of completed start/stop intervals for ``name``."""
+        node = self._nodes.get(name)
+        return node.count if node else 0
+
+    def names(self) -> List[str]:
+        """All timer names, in first-start order."""
+        return list(self._nodes)
+
+    def reset(self) -> None:
+        """Forget all timers.  Active timers are discarded."""
+        self._nodes.clear()
+        self._stack.clear()
+
+    def report(self, sort: bool = True) -> str:
+        """Render a GPTL-style text report of all timers."""
+        rows = list(self._nodes.values())
+        if sort:
+            rows.sort(key=lambda n: -n.total)
+        lines = [f"{'timer':<32s} {'count':>8s} {'total[s]':>12s} {'mean[s]':>12s}"]
+        for node in rows:
+            lines.append(
+                f"{node.name:<32s} {node.count:>8d} {node.total:>12.6f} {node.mean:>12.6f}"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide default registry, mirroring GPTL's global timer table.
+GLOBAL_TIMERS = TimerRegistry()

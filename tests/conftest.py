@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kokkos import GLOBAL_INSTRUMENTATION, SerialBackend
+from repro.ocean import LICOMKpp, demo
+
+
+@pytest.fixture(autouse=True)
+def _reset_instrumentation():
+    """Keep the global kernel counters independent between tests."""
+    GLOBAL_INSTRUMENTATION.reset()
+    yield
+    GLOBAL_INSTRUMENTATION.reset()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_model_session():
+    """A tiny model stepped a few times (shared, read-only)."""
+    model = LICOMKpp(demo("tiny"))
+    model.run_steps(4)
+    return model
+
+
+@pytest.fixture()
+def tiny_model():
+    """A fresh tiny model (mutable per-test)."""
+    return LICOMKpp(demo("tiny"))

@@ -1,0 +1,226 @@
+"""Simulated MPI: point-to-point, collectives, traffic, deadlock detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError
+from repro.parallel import SimComm, SimWorld, SingleComm
+
+
+class TestPointToPoint:
+    def test_ring_sendrecv(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        assert SimWorld.run(prog, 4) == [3, 0, 1, 2]
+
+    def test_numpy_payload_copied_on_send(self):
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.ones(4)
+                comm.send(data, dest=1)
+                data[:] = 999.0  # must not affect the receiver
+                return None
+            return comm.recv(source=0)
+
+        results = SimWorld.run(prog, 2)
+        assert np.array_equal(results[1], np.ones(4))
+
+    def test_tags_separate_channels(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            # receive in reverse tag order
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        assert SimWorld.run(prog, 2)[1] == ("a", "b")
+
+    def test_message_order_preserved_per_channel(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    comm.send(i, dest=1)
+                return None
+            return [comm.recv(source=0) for _ in range(5)]
+
+        assert SimWorld.run(prog, 2)[1] == list(range(5))
+
+    def test_self_send(self):
+        comm = SingleComm()
+        comm.send(42, dest=0)
+        assert comm.recv(source=0) == 42
+
+    def test_isend_irecv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend({"x": 1}, dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert SimWorld.run(prog, 2)[1] == {"x": 1}
+
+    def test_invalid_rank_raises(self):
+        comm = SingleComm()
+        with pytest.raises(CommunicationError):
+            comm.send(1, dest=5)
+        with pytest.raises(CommunicationError):
+            comm.recv(source=-2)
+
+    def test_recv_timeout_is_deadlock_error(self):
+        world = SimWorld(1, timeout=0.05)
+        comm = world.comm(0)
+        with pytest.raises(CommunicationError, match="deadlock"):
+            comm.recv(source=0)
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        results = SimWorld.run(lambda c: c.allreduce(c.rank + 1), 4)
+        assert results == [10, 10, 10, 10]
+
+    def test_allreduce_max_min(self):
+        assert SimWorld.run(lambda c: c.allreduce(c.rank, op="max"), 3) == [2, 2, 2]
+        assert SimWorld.run(lambda c: c.allreduce(c.rank, op="min"), 3) == [0, 0, 0]
+
+    def test_allreduce_arrays_elementwise(self):
+        def prog(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        for r in SimWorld.run(prog, 3):
+            assert np.array_equal(r, np.full(3, 3.0))
+
+    def test_allreduce_unknown_op(self):
+        comm = SingleComm()
+        with pytest.raises(CommunicationError):
+            comm.allreduce(1.0, op="xor")
+
+    def test_bcast_from_nonzero_root(self):
+        def prog(comm):
+            return comm.bcast("payload" if comm.rank == 2 else None, root=2)
+
+        assert SimWorld.run(prog, 4) == ["payload"] * 4
+
+    def test_gather(self):
+        def prog(comm):
+            return comm.gather(comm.rank * 2, root=1)
+
+        results = SimWorld.run(prog, 3)
+        assert results[0] is None
+        assert results[1] == [0, 2, 4]
+
+    def test_allgather(self):
+        results = SimWorld.run(lambda c: c.allgather(c.rank), 3)
+        assert results == [[0, 1, 2]] * 3
+
+    def test_scatter(self):
+        def prog(comm):
+            data = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        assert SimWorld.run(prog, 4) == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def prog(comm):
+            data = [1] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        with pytest.raises(CommunicationError):
+            SimWorld.run(prog, 2)
+
+    def test_alltoall(self):
+        def prog(comm):
+            return comm.alltoall([comm.rank * 10 + d for d in range(comm.size)])
+
+        results = SimWorld.run(prog, 3)
+        assert results[0] == [0, 10, 20]
+        assert results[2] == [2, 12, 22]
+
+    def test_reduce_root_only(self):
+        def prog(comm):
+            return comm.reduce(1.0, root=0)
+
+        assert SimWorld.run(prog, 3) == [3.0, None, None]
+
+    def test_back_to_back_collectives_do_not_collide(self):
+        def prog(comm):
+            a = comm.allreduce(1)
+            b = comm.allreduce(2)
+            c = comm.allgather(comm.rank)
+            return (a, b, tuple(c))
+
+        for r in SimWorld.run(prog, 4):
+            assert r == (4, 8, (0, 1, 2, 3))
+
+    def test_barrier(self):
+        def prog(comm):
+            comm.barrier()
+            return True
+
+        assert all(SimWorld.run(prog, 4))
+
+
+class TestWorld:
+    def test_run_propagates_exceptions(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom"):
+            SimWorld.run(prog, 3)
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            SimWorld(0)
+
+    def test_invalid_rank(self):
+        with pytest.raises(ValueError):
+            SimWorld(2).comm(2)
+
+    def test_traffic_ledger(self):
+        world = SimWorld(2)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), dest=1)
+            else:
+                comm.recv(source=0)
+
+        import threading
+        threads = [threading.Thread(target=prog, args=(world.comm(r),)) for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert world.traffic.messages == 1
+        assert world.traffic.bytes == 80.0
+        assert world.traffic.by_pair[(0, 1)] == 80.0
+
+    def test_run_with_args(self):
+        def prog(comm, offset):
+            return comm.rank + offset
+
+        assert SimWorld.run(prog, 2, args=(100,)) == [100, 101]
+
+
+@settings(max_examples=15, deadline=None)
+@given(size=st.integers(1, 6), seed=st.integers(0, 50))
+def test_property_allreduce_matches_numpy(size, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(size)
+
+    def prog(comm):
+        return comm.allreduce(values[comm.rank])
+
+    for r in SimWorld.run(prog, size):
+        assert r == pytest.approx(values.sum())

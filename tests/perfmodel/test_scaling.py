@@ -1,0 +1,198 @@
+"""Scaling predictions vs the paper's evaluation (the EXPERIMENTS.md claims)."""
+
+import pytest
+
+from repro.ocean.config import PAPER_CONFIGS, WEAK_SCALING_CONFIGS
+from repro.perfmodel import (
+    RELATED_WORK,
+    kilometer_scale_realistic_leaders,
+    optimization_speedup,
+    portability_sypd,
+    predict_step_time,
+    predict_sypd,
+    strong_scaling,
+    sypd_from_step_time,
+    weak_scaling,
+)
+from repro.perfmodel.calibration import (
+    FIG7_ANCHORS,
+    STRONG_ANCHORS,
+    WEAK_ANCHORS,
+    validate_all,
+    validation_report,
+    weak_cases,
+)
+
+CFG100 = PAPER_CONFIGS["coarse_100km"]
+CFG1 = PAPER_CONFIGS["km_1km"]
+CFG2 = PAPER_CONFIGS["km_2km_fulldepth"]
+
+
+class TestSypdArithmetic:
+    def test_sypd_from_step_time(self):
+        # 60 steps/day, 0.745 s/simday -> ~317 SYPD
+        sypd = sypd_from_step_time(CFG100, 0.745 / 60.0)
+        assert sypd == pytest.approx(86400.0 / (0.745 * 365.0), rel=1e-12)
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            predict_step_time(CFG100, "orise", 0)
+
+
+class TestFig7Portability:
+    @pytest.mark.parametrize("machine,tol", [
+        ("gpu_workstation", 0.02), ("orise", 0.05),
+        ("new_sunway", 0.15), ("taishan", 0.02),
+    ])
+    def test_kokkos_sypd_near_paper(self, machine, tol):
+        k, _, _ = portability_sypd(CFG100, machine)
+        paper, _ = FIG7_ANCHORS[machine]
+        assert k == pytest.approx(paper, rel=tol)
+
+    @pytest.mark.parametrize("machine", sorted(FIG7_ANCHORS))
+    def test_fortran_sypd_near_paper(self, machine):
+        _, f, _ = portability_sypd(CFG100, machine)
+        _, paper_f = FIG7_ANCHORS[machine]
+        assert f == pytest.approx(paper_f, rel=0.02)
+
+    def test_platform_ordering_matches_paper(self):
+        """Fig. 7 ordering: V100 > HIP > Taishan > Sunway on one node."""
+        sypd = {m: portability_sypd(CFG100, m)[0] for m in FIG7_ANCHORS}
+        assert sypd["gpu_workstation"] > sypd["orise"] > sypd["taishan"] > sypd["new_sunway"]
+
+    def test_speedups_over_fortran_in_paper_range(self):
+        for machine, (paper_k, paper_f) in FIG7_ANCHORS.items():
+            _, _, sp = portability_sypd(CFG100, machine)
+            paper_speedup = paper_k / paper_f
+            assert sp == pytest.approx(paper_speedup, rel=0.2)
+
+
+class TestStrongScaling:
+    def test_orise_1km_sypd_near_paper(self):
+        units, paper = STRONG_ANCHORS["orise"][-1][1], STRONG_ANCHORS["orise"][-1][2]
+        for u, p in zip(units, paper):
+            assert predict_sypd(CFG1, "orise", u) == pytest.approx(p, rel=0.15)
+
+    def test_sunway_1km_sypd_near_paper(self):
+        _, units, paper = STRONG_ANCHORS["new_sunway"][-1]
+        for u, p in zip(units, paper):
+            assert predict_sypd(CFG1, "new_sunway", u) == pytest.approx(p, rel=0.35)
+
+    def test_efficiency_monotonically_decreases(self):
+        for machine, curves in STRONG_ANCHORS.items():
+            for cfg_name, units, _ in curves:
+                rows = strong_scaling(PAPER_CONFIGS[cfg_name], machine, units)
+                effs = [r.efficiency for r in rows]
+                assert all(a >= b for a, b in zip(effs, effs[1:])), (machine, cfg_name)
+
+    def test_sypd_monotonically_increases(self):
+        for machine, curves in STRONG_ANCHORS.items():
+            for cfg_name, units, _ in curves:
+                rows = strong_scaling(PAPER_CONFIGS[cfg_name], machine, units)
+                sypd = [r.sypd for r in rows]
+                assert all(a < b for a, b in zip(sypd, sypd[1:]))
+
+    def test_final_efficiency_in_paper_band(self):
+        """Paper: ~49-56% at the kilometre scales on the full machines."""
+        rows = strong_scaling(CFG1, "orise", (4000, 8000, 12000, 16000))
+        assert 0.40 < rows[-1].efficiency < 0.65
+        rows = strong_scaling(CFG1, "new_sunway", (77750, 155520, 307800, 590250))
+        assert 0.45 < rows[-1].efficiency < 0.85
+
+    def test_headline_claim_orise_beats_sunway_at_1km(self):
+        """§VII-D: ORISE is faster despite Sunway's larger core count
+        (memory-bandwidth-bound model)."""
+        orise = predict_sypd(CFG1, "orise", 16000)
+        sunway = predict_sypd(CFG1, "new_sunway", 590250)
+        assert orise > sunway
+        # both near the paper's 1.70 / 1.05
+        assert orise == pytest.approx(1.701, rel=0.15)
+        assert sunway == pytest.approx(1.047, rel=0.15)
+
+    def test_1km_approaches_one_sypd(self):
+        """The paper's headline: kilometre-scale global ocean at ~1 SYPD."""
+        assert predict_sypd(CFG1, "new_sunway", 590250) > 0.9
+        assert predict_sypd(CFG1, "orise", 16000) > 1.5
+
+    def test_cores_column(self):
+        rows = strong_scaling(CFG1, "new_sunway", (590250,))
+        assert rows[0].cores == 38366250
+
+
+class TestWeakScaling:
+    @pytest.mark.parametrize("machine", sorted(WEAK_ANCHORS))
+    def test_final_efficiency_near_paper(self, machine):
+        rows = weak_scaling(machine, weak_cases(machine))
+        assert rows[-1].efficiency == pytest.approx(WEAK_ANCHORS[machine], abs=0.08)
+
+    def test_weak_beats_strong(self):
+        """Paper: weak-scaling efficiency (86-91%) far exceeds strong
+        (49-55%) at the same final scale."""
+        for machine in ("orise", "new_sunway"):
+            weak_eff = weak_scaling(machine, weak_cases(machine))[-1].efficiency
+            units = STRONG_ANCHORS[machine][-1][1]
+            strong_eff = strong_scaling(CFG1, machine, units)[-1].efficiency
+            assert weak_eff > strong_eff + 0.15
+
+    def test_efficiencies_stay_high(self):
+        for machine in sorted(WEAK_ANCHORS):
+            rows = weak_scaling(machine, weak_cases(machine))
+            assert all(r.efficiency > 0.8 for r in rows)
+
+    def test_six_points(self):
+        assert len(weak_scaling("orise", weak_cases("orise"))) == 6
+
+
+class TestOptimizationAblation:
+    def test_sunway_1km_speedup_near_paper(self):
+        """Paper §VIII: optimizations give 3.9x at 1 km on near-full Sunway."""
+        sp = optimization_speedup(CFG1, "new_sunway", 590250)
+        assert sp == pytest.approx(3.9, rel=0.15)
+
+    def test_2km_speedup_significant(self):
+        """Paper: 2.7x at 2 km.  Our model over-predicts (the 244-level
+        full-depth polar term dominates; see EXPERIMENTS.md) but the
+        direction and magnitude class hold."""
+        sp = optimization_speedup(CFG2, "new_sunway", 576000)
+        assert 2.0 < sp < 8.0
+
+    def test_optimizations_never_hurt(self):
+        for machine in ("orise", "new_sunway"):
+            for cfg in (CFG1, CFG2):
+                assert optimization_speedup(cfg, machine, 10000) > 1.0
+
+
+class TestCalibrationValidation:
+    def test_all_anchor_ratios_bounded(self):
+        """Every fitted/predicted anchor within 40% except the documented
+        ORISE 10-km outlier."""
+        for row in validate_all():
+            if row.machine == "orise" and "eddy_10km" in row.anchor:
+                continue  # documented deviation (EXPERIMENTS.md)
+            assert 0.6 < row.ratio < 1.45, (row.machine, row.anchor, row.ratio)
+
+    def test_report_renders(self):
+        rep = validation_report()
+        assert "fig7_kokkos_sypd" in rep
+        assert "new_sunway" in rep
+
+
+class TestRelatedWork:
+    def test_fig2_points_present(self):
+        names = {p.name for p in RELATED_WORK}
+        assert any("Veros" in n for n in names)
+        assert any("swNEMO" in n for n in names)
+        assert any("Oceananigans" in n for n in names)
+        assert any("LICOMK++" in n for n in names)
+
+    def test_this_work_is_unique_km_scale_leader(self):
+        """The Fig. 2 claim: LICOMK++ is the only realistic global ocean
+        model at ~1 km above 1 SYPD."""
+        leaders = kilometer_scale_realistic_leaders()
+        above_1sypd = [p for p in leaders if p.sypd >= 1.0]
+        assert above_1sypd
+        assert all(p.this_work for p in above_1sypd)
+
+    def test_paper_numbers(self):
+        ours = [p for p in RELATED_WORK if p.this_work]
+        assert {round(p.sypd, 3) for p in ours} == {1.047, 1.701}
