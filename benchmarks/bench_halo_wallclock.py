@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: fused vs per-field halo exchange (BENCH_halo).
+
+Times ``rounds`` multi-field 3-D halo updates on a 4-rank SimWorld in
+two modes — independent per-field :func:`exchange3d` calls versus one
+:class:`FusedHaloExchange` message per neighbour per phase — and writes
+``BENCH_halo.json`` with the best-of-``repeats`` wall-clock times, the
+measured message aggregation, and the relative wall-clock reduction.
+
+The fused path wins on three counts, all of which the simulator pays
+for honestly: 4 messages per rank per round instead of 4 x n_fields
+(each message costs mailbox synchronisation), zero-copy ``move=True``
+sends instead of copy-on-send, and pooled persistent buffers instead of
+per-call allocations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_halo_wallclock.py [--smoke]
+
+``--smoke`` shrinks the run for CI (no reduction threshold enforced).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.parallel.comm import SimWorld
+from repro.parallel.decomp import BlockDecomposition
+from repro.parallel.halo import exchange3d
+from repro.parallel.halo_fused import FusedHaloExchange
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+def _local_fields(decomp, rank, nz, n_fields):
+    ly, lx = decomp.local_shape(rank)
+    rng = np.random.default_rng(1000 + rank)
+    return [rng.standard_normal((nz, ly, lx)) for _ in range(n_fields)]
+
+
+def _time_world(body, size, repeats):
+    """Best-of-``repeats`` exchange-region wall seconds.
+
+    Each rank times barrier-to-barrier around its exchange loop (field
+    setup and thread spawn excluded); one repeat's cost is the slowest
+    rank's time, and the benchmark keeps the best repeat.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, max(SimWorld.run(body, size)))
+    return best
+
+
+def run_benchmark(
+    ny: int = 96,
+    nx: int = 96,
+    nz: int = 24,
+    n_fields: int = 8,
+    npy: int = 2,
+    npx: int = 2,
+    rounds: int = 20,
+    repeats: int = 5,
+) -> dict:
+    decomp = BlockDecomposition(ny, nx, npy, npx)
+    size = npy * npx
+
+    def per_field(comm):
+        fields = _local_fields(decomp, comm.rank, nz, n_fields)
+        comm.barrier()
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for f in fields:
+                exchange3d(comm, decomp, comm.rank, f, 1.0, 0.0)
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    def fused(comm):
+        fields = _local_fields(decomp, comm.rank, nz, n_fields)
+        fx = FusedHaloExchange(comm, decomp, comm.rank)
+        specs = [(f, 1.0, 0.0) for f in fields]
+        comm.barrier()
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            fx.exchange(specs, phase="bench")
+        comm.barrier()
+        return time.perf_counter() - t0
+
+    t_per_field = _time_world(per_field, size, repeats)
+    t_fused = _time_world(fused, size, repeats)
+
+    def traffic(body):
+        return SimWorld.run(lambda comm: (body(comm), comm.world.traffic)[1],
+                            size)[0]
+
+    ledger_pf = traffic(per_field)
+    ledger_fu = traffic(fused)
+
+    return {
+        "config": {
+            "ny": ny, "nx": nx, "nz": nz, "n_fields": n_fields,
+            "ranks": size, "rounds": rounds, "repeats": repeats,
+        },
+        "per_field_seconds": t_per_field,
+        "fused_seconds": t_fused,
+        "reduction": 1.0 - t_fused / t_per_field,
+        "speedup": t_per_field / t_fused,
+        "per_field_messages": ledger_pf.messages,
+        "fused_messages": ledger_fu.messages,
+        "aggregation": ledger_pf.messages / max(1, ledger_fu.messages),
+        "per_field_bytes": ledger_pf.bytes,
+        "fused_bytes": ledger_fu.bytes,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny run for CI; skips the reduction threshold")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=ARTIFACTS / "BENCH_halo.json")
+    ap.add_argument("--min-reduction", type=float, default=0.25)
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        result = run_benchmark(ny=32, nx=32, nz=6, n_fields=4,
+                               rounds=3, repeats=2)
+    else:
+        result = run_benchmark()
+
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"per-field: {result['per_field_seconds'] * 1e3:9.2f} ms "
+          f"({result['per_field_messages']} messages)")
+    print(f"fused:     {result['fused_seconds'] * 1e3:9.2f} ms "
+          f"({result['fused_messages']} messages, "
+          f"{result['aggregation']:.1f}x aggregation)")
+    print(f"wall-clock reduction: {result['reduction'] * 100:.1f}% "
+          f"({result['speedup']:.2f}x)")
+    print(f"wrote {args.out}")
+
+    if not args.smoke and result["reduction"] < args.min_reduction:
+        print(f"FAIL: reduction {result['reduction']:.3f} "
+              f"< {args.min_reduction}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

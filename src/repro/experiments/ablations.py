@@ -20,8 +20,10 @@ import numpy as np
 
 from ..kokkos.registry import DictRegistry, LinkedListRegistry, RegistryEntry
 from ..ocean import demo, land_mask, make_grid
+from ..parallel.comm import SimWorld, TrafficLedger
 from ..parallel.decomp import BlockDecomposition, choose_process_grid
-from ..parallel.halo import pack_naive, pack_sliced
+from ..parallel.halo import exchange3d, pack_naive, pack_sliced
+from ..parallel.halo_fused import FusedHaloExchange
 from ..parallel.halo_transpose import GHOST_HALO_TRANSPOSES, REAL_HALO_TRANSPOSES
 from ..parallel.loadbalance import ImbalanceStats, imbalance_stats
 
@@ -96,6 +98,65 @@ def transpose_study(nz: int = 80, n: int = 600, halo: int = 2) -> Dict[str, Dict
     return out
 
 
+def fused_halo_study(
+    ny: int = 48,
+    nx: int = 64,
+    nz: int = 8,
+    n_fields: int = 6,
+    npy: int = 2,
+    npx: int = 2,
+    rounds: int = 2,
+) -> Tuple[TrafficLedger, TrafficLedger, float]:
+    """Measured wire-message shape: per-field vs fused halo updates.
+
+    Runs the same ``n_fields``-field 3-D halo update on a real
+    ``npy x npx`` SimWorld twice — once as independent per-field
+    :func:`exchange3d` calls, once through :class:`FusedHaloExchange` —
+    and returns ``(per_field_ledger, fused_ledger, aggregation)`` where
+    ``aggregation`` is the per-field/fused message-count ratio that
+    feeds the network model's ``aggregation`` knob.
+    """
+    decomp = BlockDecomposition(ny, nx, npy, npx)
+
+    def local_fields(rank: int) -> List[np.ndarray]:
+        ly, lx = decomp.local_shape(rank)
+        rng = np.random.default_rng(100 + rank)
+        return [rng.standard_normal((nz, ly, lx)) for _ in range(n_fields)]
+
+    def per_field(comm) -> TrafficLedger:
+        fields = local_fields(comm.rank)
+        for _ in range(rounds):
+            for f in fields:
+                exchange3d(comm, decomp, comm.rank, f, 1.0, 0.0)
+        return comm.world.traffic
+
+    def fused(comm) -> TrafficLedger:
+        fields = local_fields(comm.rank)
+        fx = FusedHaloExchange(comm, decomp, comm.rank)
+        for _ in range(rounds):
+            fx.exchange([(f, 1.0, 0.0) for f in fields], phase="fused_halo")
+        return comm.world.traffic
+
+    lp = SimWorld.run(per_field, npy * npx)[0]
+    lf = SimWorld.run(fused, npy * npx)[0]
+    return lp, lf, lp.messages / max(1, lf.messages)
+
+
+def format_fused_halo(
+    study: Tuple[TrafficLedger, TrafficLedger, float] | None = None,
+) -> str:
+    from ..perfmodel.network import ledger_message_summary
+
+    per_field, fused, agg = fused_halo_study() if study is None else study
+    lines = ["fused multi-field halo (4 ranks, 6 fields, 2 rounds):",
+             "  per-field exchange:"]
+    lines += [f"    {l}" for l in ledger_message_summary(per_field).splitlines()]
+    lines.append("  fused exchange:")
+    lines += [f"    {l}" for l in ledger_message_summary(fused).splitlines()]
+    lines.append(f"  message aggregation factor: {agg:.2f}x")
+    return "\n".join(lines)
+
+
 def format_halo_ablation() -> str:
     packs = pack_study()
     trans = transpose_study()
@@ -108,6 +169,7 @@ def format_halo_ablation() -> str:
         for name, t in rows.items():
             lines.append(f"  {name:<12s} {t * 1e3:8.3f} ms "
                          f"({rows['naive'] / t:6.1f}x vs naive)")
+    lines.append(format_fused_halo())
     return "\n".join(lines)
 
 

@@ -88,6 +88,10 @@ class ModelParams:
     n_passive: int = 0              # extra passive (dye/age) tracers
     halo_packer: str = "sliced"     # "sliced" | "kernel" | "naive" (SV-D pack)
     halo_method3d: str = "transposed"  # "transposed" | "per_level" (Fig. 5)
+    halo_fused: bool = True         # fused multi-field halo fast path
+                                    # (one message per neighbour per phase,
+                                    # persistent buffers, zero-copy sends);
+                                    # bitwise identical to the per-field path
     forcing: ForcingParams = field(default_factory=ForcingParams)
 
 
@@ -162,10 +166,23 @@ class LICOMKpp:
         s2 = (d.ly, d.lx)
         sp = self.space.memory_space
         dt_ = self.dtype
-        self.tstar = View("tstar", s3, dtype=dt_, space=sp)
-        self.tdiff_work = View("tdiff_work", s3, dtype=dt_, space=sp)
-        self.rplus = View("rplus", s3, dtype=dt_, space=sp)
-        self.rminus = View("rminus", s3, dtype=dt_, space=sp)
+        # per-tracer scratch so the tracer suite can run stage-by-stage
+        # across all tracers (T, S, passives) with one fused halo per
+        # stage; slot 0 keeps the historical single-tracer attribute
+        # names alive for kernel benchmarks
+        n_tr = 2 + self.params.n_passive
+        self.tstar_all = [View(f"tstar{i}", s3, dtype=dt_, space=sp)
+                          for i in range(n_tr)]
+        self.tdiff_work_all = [View(f"tdiff_work{i}", s3, dtype=dt_, space=sp)
+                               for i in range(n_tr)]
+        self.rplus_all = [View(f"rplus{i}", s3, dtype=dt_, space=sp)
+                          for i in range(n_tr)]
+        self.rminus_all = [View(f"rminus{i}", s3, dtype=dt_, space=sp)
+                           for i in range(n_tr)]
+        self.tstar = self.tstar_all[0]
+        self.tdiff_work = self.tdiff_work_all[0]
+        self.rplus = self.rplus_all[0]
+        self.rminus = self.rminus_all[0]
         self.eta = View("eta_work", s2, dtype=dt_, space=sp)
         self.eta_prev = View("eta_prev", s2, dtype=dt_, space=sp)
         self.um = View("umean", s2, dtype=dt_, space=sp)
@@ -257,6 +274,41 @@ class LICOMKpp:
         self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
         self.halo.update2d(view.raw, sign=sign, fill=fill)
 
+    def _halo3_group(self, specs) -> None:
+        """Halo-update several 3-D fields: fused (one message per
+        neighbour per phase) when enabled, per-field otherwise.
+
+        ``specs`` is a list of ``(view, sign, fill)`` triples.  Both
+        paths are bitwise identical; the fused one aggregates messages
+        and reuses persistent pack buffers.
+        """
+        if not self.params.halo_fused:
+            for v, sign, fill in specs:
+                self._halo3(v, sign=sign, fill=fill)
+            return
+        d = self.domain
+        h = d.halo
+        fields = []
+        for v, sign, fill in specs:
+            nz = v.raw.shape[0]
+            self._ledger_halo(nz * 2 * h * (d.ly + d.lx) * 8.0)
+            fields.append((v.raw, sign, fill))
+        self.halo.update_many(fields, phase="halo3")
+
+    def _halo2_group(self, specs) -> None:
+        """2-D counterpart of :meth:`_halo3_group`."""
+        if not self.params.halo_fused:
+            for v, sign, fill in specs:
+                self._halo2(v, sign=sign, fill=fill)
+            return
+        d = self.domain
+        h = d.halo
+        fields = []
+        for v, sign, fill in specs:
+            self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
+            fields.append((v.raw, sign, fill))
+        self.halo.update_many(fields, phase="halo2")
+
     # ------------------------------------------------------------------
     # one baroclinic step
     # ------------------------------------------------------------------
@@ -316,8 +368,7 @@ class LICOMKpp:
                     CoriolisRotationFunctor(st.u.new, st.v.new,
                                             st.u.old, st.v.old, d, dt2))
             with self.timers.timer("halo_momentum"):
-                self._halo3(st.u.new, sign=-1.0)
-                self._halo3(st.v.new, sign=-1.0)
+                self._halo3_group([(st.u.new, -1.0, 0.0), (st.v.new, -1.0, 0.0)])
 
             # -- split-explicit barotropic mode -----------------------------
             with self.timers.timer("barotropic"):
@@ -325,10 +376,7 @@ class LICOMKpp:
 
             # -- tracers (transported with the time-centered velocities) -----
             with self.timers.timer("tracer"):
-                self._tracer_step(st.t, self.sst_star, self.gamma_t, dt2)
-                self._tracer_step(st.s, self.sss_star, self.gamma_s, dt2)
-                for p in st.passive:
-                    self._tracer_step(p, self._zero2d, 0.0, dt2)
+                self._tracer_suite(dt2)
 
             # -- Asselin filter + rotate ------------------------------------
             with self.timers.timer("filter"):
@@ -393,20 +441,78 @@ class LICOMKpp:
         for _ in range(steps):
             self.eta_prev.raw[...] = self.eta.raw
             run("barotropic_continuity", self.p_int2, cont)
-            self._halo2(self.eta)
+            self._halo2_group([(self.eta, 1.0, 0.0)])
             run("barotropic_momentum", self.p_int2, mom)
-            self._halo2(st.ub, sign=-1.0)
-            self._halo2(st.vb, sign=-1.0)
+            self._halo2_group([(st.ub, -1.0, 0.0), (st.vb, -1.0, 0.0)])
 
         st.ssh.new.raw[...] = self.eta.raw
         # re-attach the subcycled barotropic mode
         run("add_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, st.ub, d))
         run("add_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, st.vb, d))
         with self.timers.timer("halo_momentum"):
-            self._halo3(st.u.new, sign=-1.0)
-            self._halo3(st.v.new, sign=-1.0)
+            self._halo3_group([(st.u.new, -1.0, 0.0), (st.v.new, -1.0, 0.0)])
 
-    def _tracer_step(self, fld, star2d: np.ndarray, gamma: float, dt2: float) -> None:
+    def _tracer_suite(self, dt2: float) -> None:
+        """Advance every tracer (T, S, passives) one step.
+
+        With the fused halo path the suite runs *stage by stage across
+        all tracers* — horizontal diffusion of every tracer, one fused
+        halo; predictor of every tracer, one fused halo; FCT limits with
+        all R+/R- bundled into one message; apply + implicit vertical,
+        one fused halo — so the number of halo messages is independent
+        of the tracer count.  Per-field mode steps each tracer through
+        :meth:`_tracer_step` sequentially; both orders are bitwise
+        identical because tracers only share read-only velocity fields.
+        """
+        st = self.state
+        tracers = [(st.t, self.sst_star, self.gamma_t),
+                   (st.s, self.sss_star, self.gamma_s)]
+        tracers += [(p, self._zero2d, 0.0) for p in st.passive]
+        if not self.params.halo_fused:
+            for i, (fld, star2d, gamma) in enumerate(tracers):
+                self._tracer_step(i, fld, star2d, gamma, dt2)
+            return
+
+        d = self.domain
+        run = self.space.parallel_for
+        n = len(tracers)
+        work, tst = self.tdiff_work_all, self.tstar_all
+        rp, rm = self.rplus_all, self.rminus_all
+        # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old)
+        for i, (fld, _, _) in enumerate(tracers):
+            work[i].raw[...] = fld.old.raw
+            run("tracer_hdiff", self.p_int2,
+                TracerHDiffusionFunctor(fld.old, work[i], d, dt2, self.tdiff))
+        with self.timers.timer("halo_tracer"):
+            self._halo3_group([(work[i], 1.0, 0.0) for i in range(n)])
+        # stage 2 — low-order predictor
+        for i in range(n):
+            run("advect_tracer_predictor", self.p_int2,
+                AdvectPredictorFunctor(work[i], st.u.cur, st.v.cur, st.w,
+                                       tst[i], d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3_group([(tst[i], 1.0, 0.0) for i in range(n)])
+        # stage 3 — FCT limiters: every tracer's R+ and R- in one message
+        for i in range(n):
+            run("advect_tracer_limits", self.p_int2,
+                FCTLimitFunctor(work[i], tst[i], st.u.cur, st.v.cur,
+                                st.w, rp[i], rm[i], d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3_group([(rp[i], 1.0, 1.0) for i in range(n)]
+                              + [(rm[i], 1.0, 1.0) for i in range(n)])
+        # stage 4 — limited apply + implicit vertical operator
+        for i, (fld, star2d, gamma) in enumerate(tracers):
+            run("advect_tracer_apply", self.p_int2,
+                FCTApplyFunctor(tst[i], st.u.cur, st.v.cur, st.w,
+                                rp[i], rm[i], fld.new, d, dt2))
+            run("vertical_tracer_diffusion", self.p_int2,
+                VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
+                                               gamma, d, dt2))
+        with self.timers.timer("halo_tracer"):
+            self._halo3_group([(fld.new, 1.0, 0.0) for fld, _, _ in tracers])
+
+    def _tracer_step(self, i: int, fld, star2d: np.ndarray, gamma: float,
+                     dt2: float) -> None:
         """Two-step shape-preserving advection + diffusion for one tracer.
 
         Horizontal diffusion runs first (its explicit maximum principle
@@ -418,26 +524,28 @@ class LICOMKpp:
         st = self.state
         d = self.domain
         run = self.space.parallel_for
-        # diffuse-then-advect: tdiff_work = old + dt * div(k grad old)
-        self.tdiff_work.raw[...] = fld.old.raw
+        work, tst = self.tdiff_work_all[i], self.tstar_all[i]
+        rp, rm = self.rplus_all[i], self.rminus_all[i]
+        # diffuse-then-advect: work = old + dt * div(k grad old)
+        work.raw[...] = fld.old.raw
         run("tracer_hdiff", self.p_int2,
-            TracerHDiffusionFunctor(fld.old, self.tdiff_work, d, dt2, self.tdiff))
+            TracerHDiffusionFunctor(fld.old, work, d, dt2, self.tdiff))
         with self.timers.timer("halo_tracer"):
-            self._halo3(self.tdiff_work)
+            self._halo3(work)
         run("advect_tracer_predictor", self.p_int2,
-            AdvectPredictorFunctor(self.tdiff_work, st.u.cur, st.v.cur, st.w,
-                                   self.tstar, d, dt2))
+            AdvectPredictorFunctor(work, st.u.cur, st.v.cur, st.w,
+                                   tst, d, dt2))
         with self.timers.timer("halo_tracer"):
-            self._halo3(self.tstar)
+            self._halo3(tst)
         run("advect_tracer_limits", self.p_int2,
-            FCTLimitFunctor(self.tdiff_work, self.tstar, st.u.cur, st.v.cur,
-                            st.w, self.rplus, self.rminus, d, dt2))
+            FCTLimitFunctor(work, tst, st.u.cur, st.v.cur,
+                            st.w, rp, rm, d, dt2))
         with self.timers.timer("halo_tracer"):
-            self._halo3(self.rplus, fill=1.0)
-            self._halo3(self.rminus, fill=1.0)
+            self._halo3(rp, fill=1.0)
+            self._halo3(rm, fill=1.0)
         run("advect_tracer_apply", self.p_int2,
-            FCTApplyFunctor(self.tstar, st.u.cur, st.v.cur, st.w,
-                            self.rplus, self.rminus, fld.new, d, dt2))
+            FCTApplyFunctor(tst, st.u.cur, st.v.cur, st.w,
+                            rp, rm, fld.new, d, dt2))
         run("vertical_tracer_diffusion", self.p_int2,
             VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
                                            gamma, d, dt2))

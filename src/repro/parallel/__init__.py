@@ -18,6 +18,12 @@ from .halo import (
     pack_naive,
     pack_sliced,
 )
+from .halo_fused import (
+    BufferPool,
+    FieldSpec,
+    FusedHaloExchange,
+    as_field_specs,
+)
 from .halo_transpose import (
     GHOST_HALO_TRANSPOSES,
     REAL_HALO_TRANSPOSES,
@@ -31,15 +37,23 @@ from .loadbalance import (
     naive_column_compute,
     partition_evenly,
 )
-from .overlap import boundary_strip, interior_core, overlap_time, overlapped_update
+from .overlap import (
+    boundary_strip,
+    interior_core,
+    overlap_time,
+    overlapped_update,
+    overlapped_update_fused,
+)
 
 __all__ = [
     "SimWorld", "SimComm", "SingleComm", "Request", "TrafficLedger",
     "BlockDecomposition", "Block", "choose_process_grid", "DEFAULT_HALO",
     "exchange2d", "exchange3d", "HaloUpdater", "PACKERS",
     "pack_naive", "pack_sliced", "pack_kernel",
+    "FusedHaloExchange", "FieldSpec", "BufferPool", "as_field_specs",
     "REAL_HALO_TRANSPOSES", "GHOST_HALO_TRANSPOSES", "message_counts_3d",
     "balanced_column_compute", "naive_column_compute", "local_ocean_columns",
     "partition_evenly", "imbalance_stats", "ImbalanceStats",
-    "overlapped_update", "overlap_time", "interior_core", "boundary_strip",
+    "overlapped_update", "overlapped_update_fused", "overlap_time",
+    "interior_core", "boundary_strip",
 ]

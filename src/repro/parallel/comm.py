@@ -63,24 +63,65 @@ def _copy_payload(obj: Any) -> Any:
 
 @dataclass
 class TrafficLedger:
-    """Accumulated message counts/volumes, for the network model."""
+    """Accumulated message counts/volumes, for the network model.
+
+    Beyond the raw totals, the ledger keeps a power-of-two message-size
+    histogram and per-phase counters so the network cost model (and
+    ablation A2) can see the *shape* of the traffic — the fused halo
+    exchange sends a few large messages where the per-field path sends
+    many small ones, and an alpha-beta model prices those differently.
+    """
 
     messages: int = 0
     bytes: float = 0.0
     by_pair: Dict[Tuple[int, int], float] = field(default_factory=dict)
     collectives: int = 0
+    #: phase name -> [message count, bytes] (phases are caller-declared,
+    #: e.g. "halo3", "halo2", "fused_halo3").
+    by_phase: Dict[str, List[float]] = field(default_factory=dict)
+    #: log2 size bin -> message count; bin b holds 2**(b-1) <= n < 2**b.
+    size_hist: Dict[int, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
-    def record(self, src: int, dst: int, nbytes: float) -> None:
-        self.messages += 1
-        self.bytes += nbytes
-        key = (src, dst)
-        self.by_pair[key] = self.by_pair.get(key, 0.0) + nbytes
+    def record(self, src: int, dst: int, nbytes: float,
+               phase: Optional[str] = None) -> None:
+        with self._lock:
+            self.messages += 1
+            self.bytes += nbytes
+            key = (src, dst)
+            self.by_pair[key] = self.by_pair.get(key, 0.0) + nbytes
+            b = max(0, int(nbytes)).bit_length()
+            self.size_hist[b] = self.size_hist.get(b, 0) + 1
+            if phase is not None:
+                slot = self.by_phase.setdefault(phase, [0, 0.0])
+                slot[0] += 1
+                slot[1] += nbytes
+
+    def phase_messages(self, phase: str) -> int:
+        """Message count recorded under ``phase`` (0 if never seen)."""
+        return int(self.by_phase.get(phase, [0, 0.0])[0])
+
+    def phase_bytes(self, phase: str) -> float:
+        """Bytes recorded under ``phase`` (0.0 if never seen)."""
+        return float(self.by_phase.get(phase, [0, 0.0])[1])
+
+    def size_histogram(self) -> Dict[int, int]:
+        """{upper-bound bytes (power of two): message count}, sorted."""
+        return {2 ** b: n for b, n in sorted(self.size_hist.items())}
+
+    def mean_message_bytes(self) -> float:
+        """Average message size (0.0 with no traffic)."""
+        return self.bytes / self.messages if self.messages else 0.0
 
     def reset(self) -> None:
-        self.messages = 0
-        self.bytes = 0.0
-        self.by_pair.clear()
-        self.collectives = 0
+        with self._lock:
+            self.messages = 0
+            self.bytes = 0.0
+            self.by_pair.clear()
+            self.collectives = 0
+            self.by_phase.clear()
+            self.size_hist.clear()
 
 
 class _Mailbox:
@@ -103,28 +144,55 @@ class _Mailbox:
                 )
             return self._items.popleft()
 
+    def poll(self) -> Tuple[bool, Any]:
+        """Non-blocking probe: (True, item) if one is queued, else (False, None)."""
+        with self._cond:
+            if self._items:
+                return True, self._items.popleft()
+            return False, None
+
 
 class Request:
-    """Handle for a non-blocking operation."""
+    """Handle for a non-blocking operation.
 
-    def __init__(self, fn: Callable[[], Any]) -> None:
+    ``wait()`` blocks until the operation completes and returns its
+    result.  ``test()`` is a genuine non-blocking probe: it consults the
+    mailbox without waiting and returns whether the operation has
+    completed (caching the result for a later ``wait()``).
+    """
+
+    def __init__(self, fn: Optional[Callable[[], Any]] = None,
+                 poll: Optional[Callable[[], Tuple[bool, Any]]] = None) -> None:
         self._fn = fn
-        self._done = False
+        self._poll = poll
+        self._done = fn is None and poll is None
         self._result: Any = None
+
+    @classmethod
+    def completed(cls, result: Any = None) -> "Request":
+        """An already-finished request (buffered sends)."""
+        req = cls()
+        req._result = result
+        return req
 
     def wait(self) -> Any:
         if not self._done:
-            self._result = self._fn()
+            if self._fn is not None:
+                self._result = self._fn()
             self._done = True
         return self._result
 
     def test(self) -> bool:
-        """Non-blocking completion probe (best-effort under threads)."""
-        try:
-            self.wait()
+        """Non-blocking completion probe: never waits on the mailbox."""
+        if self._done:
             return True
-        except CommunicationError:
-            return False
+        if self._poll is not None:
+            ok, value = self._poll()
+            if ok:
+                self._result = value
+                self._done = True
+            return ok
+        return False
 
 
 class SimWorld:
@@ -226,14 +294,19 @@ class SimWorld:
             t.start()
         for t in threads:
             t.join()
-        for exc in errors:
-            if exc is not None:
-                if isinstance(exc, threading.BrokenBarrierError):
-                    continue
-                raise exc
-        for exc in errors:
-            if exc is not None:
-                raise exc
+        # Prefer the root-cause error: when one rank fails, the others
+        # die with collateral BrokenBarrierError (we abort the barrier so
+        # they fail fast).  Only if *every* failure is a barrier break —
+        # no underlying cause recorded — is one of those raised.
+        primary = next(
+            (e for e in errors
+             if e is not None and not isinstance(e, threading.BrokenBarrierError)),
+            None,
+        )
+        if primary is None:
+            primary = next((e for e in errors if e is not None), None)
+        if primary is not None:
+            raise primary
         return results
 
 
@@ -255,13 +328,22 @@ class SimComm:
 
     # -- point to point ----------------------------------------------------
 
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Buffered send: the payload is copied and enqueued immediately."""
+    def send(self, obj: Any, dest: int, tag: int = 0, move: bool = False,
+             phase: Optional[str] = None) -> None:
+        """Buffered send: the payload is copied and enqueued immediately.
+
+        ``move=True`` is the zero-copy handoff: ownership of ``obj``
+        transfers to the receiver and the sender must not touch it again
+        (the fused halo path hands over freshly packed buffers this
+        way).  ``phase`` tags the message in the traffic ledger's
+        per-phase counters.
+        """
         if not (0 <= dest < self.size):
             raise CommunicationError(f"send to invalid rank {dest}")
         nbytes = _payload_nbytes(obj)
-        self.world.traffic.record(self.rank, dest, nbytes)
-        self.world._box(self.rank, dest, tag).put(_copy_payload(obj))
+        self.world.traffic.record(self.rank, dest, nbytes, phase=phase)
+        payload = obj if move else _copy_payload(obj)
+        self.world._box(self.rank, dest, tag).put(payload)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         """Blocking receive from ``source``."""
@@ -269,12 +351,23 @@ class SimComm:
             raise CommunicationError(f"recv from invalid rank {source}")
         return self.world._box(source, self.rank, tag).get(self.world.timeout)
 
-    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
-        self.send(obj, dest, tag)  # buffered: completes immediately
-        return Request(lambda: None)
+    def isend(self, obj: Any, dest: int, tag: int = 0, move: bool = False,
+              phase: Optional[str] = None) -> Request:
+        self.send(obj, dest, tag, move=move, phase=phase)  # buffered
+        return Request.completed()
 
     def irecv(self, source: int, tag: int = 0) -> Request:
-        return Request(lambda: self.recv(source, tag))
+        """Post a non-blocking receive.
+
+        The mailbox is materialised eagerly (the MPI "posted receive"),
+        so ``test()`` is a real O(1) probe and ``wait()`` blocks only
+        for in-flight data.
+        """
+        if not (0 <= source < self.size):
+            raise CommunicationError(f"irecv from invalid rank {source}")
+        box = self.world._box(source, self.rank, tag)
+        timeout = self.world.timeout
+        return Request(fn=lambda: box.get(timeout), poll=box.poll)
 
     def sendrecv(self, sendobj: Any, dest: int, source: int,
                  sendtag: int = 0, recvtag: int = 0) -> Any:

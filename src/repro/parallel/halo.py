@@ -26,6 +26,7 @@ All variants produce identical ghost values; the tests enforce it.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -90,11 +91,30 @@ class _PackFunctor:
 
 
 _PACK_REGISTERED = False
+_PACK_LOCK = threading.Lock()
+_PACK_BACKEND = None
+
+
+def _pack_backend():
+    """The cached serial backend for kernel packs (one per process).
+
+    Halo exchanges run concurrently on rank threads; constructing a
+    fresh backend per pack call both wastes time on the hottest path and
+    races the global instrumentation registry.
+    """
+    global _PACK_BACKEND
+    if _PACK_BACKEND is None:
+        from ..kokkos import SerialBackend
+
+        with _PACK_LOCK:
+            if _PACK_BACKEND is None:
+                _PACK_BACKEND = SerialBackend()
+    return _PACK_BACKEND
 
 
 def pack_kernel(arr: np.ndarray, rows: slice, cols: slice, space=None) -> np.ndarray:
     """Pack through the portability layer (the Kokkos-accelerated pack)."""
-    from ..kokkos import MDRangePolicy, SerialBackend, parallel_for
+    from ..kokkos import MDRangePolicy, parallel_for
     from ..kokkos.functor import register_functor_instance
 
     nrow = rows.stop - rows.start
@@ -103,9 +123,13 @@ def pack_kernel(arr: np.ndarray, rows: slice, cols: slice, space=None) -> np.nda
     functor = _PackFunctor(arr, out, rows, cols)
     global _PACK_REGISTERED
     if not _PACK_REGISTERED:
-        register_functor_instance(functor, "for", 2, name="halo_pack")
-        _PACK_REGISTERED = True
-    target = space if space is not None else SerialBackend()
+        # Double-checked under the lock: rank threads pack concurrently
+        # and registration must happen exactly once.
+        with _PACK_LOCK:
+            if not _PACK_REGISTERED:
+                register_functor_instance(functor, "for", 2, name="halo_pack")
+                _PACK_REGISTERED = True
+    target = space if space is not None else _pack_backend()
     parallel_for("halo_pack", MDRangePolicy([nrow, ncol]), functor, space=target)
     return out
 
@@ -263,7 +287,13 @@ def exchange3d(
 
 
 class HaloUpdater:
-    """Bundles (comm, decomp, rank) for convenient repeated updates."""
+    """Bundles (comm, decomp, rank) for convenient repeated updates.
+
+    Besides the per-field :meth:`update2d` / :meth:`update3d`, the
+    updater owns a :class:`~repro.parallel.halo_fused.FusedHaloExchange`
+    (built lazily) whose persistent buffer pool makes repeated
+    :meth:`update_many` calls allocation-free in steady state.
+    """
 
     def __init__(
         self,
@@ -278,9 +308,28 @@ class HaloUpdater:
         self.rank = comm.rank if rank is None else rank
         self.method3d = method3d
         self.packer = packer
-        #: Count of halo updates performed (for the cost model).
+        #: Count of halo updates performed (for the cost model).  Fused
+        #: exchanges count each member field, so the step profile sees
+        #: the same number of *semantic* updates either way.
         self.updates2d = 0
         self.updates3d = 0
+        #: Count of fused exchanges (message-level events).
+        self.fused_exchanges = 0
+        self._fused = None
+
+    @property
+    def fused(self):
+        """The lazily-built fused fast path (shares this updater's rank)."""
+        if self._fused is None:
+            from .halo_fused import FusedHaloExchange
+
+            self._fused = FusedHaloExchange(self.comm, self.decomp, self.rank)
+        return self._fused
+
+    @property
+    def pool(self):
+        """The fused path's persistent buffer pool."""
+        return self.fused.pool
 
     def update2d(self, arr: np.ndarray, sign: float = 1.0, fill: float = 0.0) -> np.ndarray:
         self.updates2d += 1
@@ -291,3 +340,22 @@ class HaloUpdater:
         self.updates3d += 1
         return exchange3d(self.comm, self.decomp, self.rank, arr,
                           sign=sign, fill=fill, method=self.method3d)
+
+    def update_many(self, fields, phase: Optional[str] = None) -> None:
+        """Fused halo update of several fields at once.
+
+        ``fields`` is a sequence of arrays or ``(arr, sign, fill)``
+        tuples (2-D and 3-D may be mixed); all fields travel in one
+        message per neighbour per phase.  Bitwise identical to calling
+        :meth:`update2d` / :meth:`update3d` once per field.
+        """
+        from .halo_fused import as_field_specs
+
+        specs = as_field_specs(fields)
+        for s in specs:
+            if s.arr.ndim == 2:
+                self.updates2d += 1
+            else:
+                self.updates3d += 1
+        self.fused_exchanges += 1
+        self.fused.exchange(specs, phase=phase)

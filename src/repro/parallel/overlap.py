@@ -18,13 +18,14 @@ costs ``max(t_interior, t_comm) + t_boundary`` instead of
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .comm import SimComm
 from .decomp import BlockDecomposition
 from .halo import exchange2d, exchange3d
+from .halo_fused import FusedHaloExchange, as_field_specs
 
 
 def interior_core(
@@ -86,6 +87,43 @@ def overlapped_update(
         region = (slice(None),) + strip if is3d else strip
         compute_region(arr, region)
     return arr
+
+
+def overlapped_update_fused(
+    comm: SimComm,
+    decomp: BlockDecomposition,
+    rank: int,
+    fields: Sequence,
+    compute_region: Callable[[np.ndarray, Tuple[slice, ...]], None],
+    fx: Optional[FusedHaloExchange] = None,
+) -> None:
+    """True non-blocking overlap on the fused halo path.
+
+    Unlike :func:`overlapped_update` — which merely *schedules* the
+    interior computation before a blocking exchange — this posts the
+    phase-1 receives and sends first (:meth:`FusedHaloExchange.begin`),
+    computes the deep interior of every field while those messages are
+    genuinely in flight on the other rank threads, then completes the
+    exchange and computes the boundary strips.
+
+    ``fields`` is a sequence of arrays or ``(arr, sign, fill)`` tuples;
+    ``compute_region(arr, region)`` is applied per field and must read
+    at most ``halo``-wide stencils.  Pass a persistent ``fx`` to reuse
+    its buffer pool across steps.
+    """
+    if fx is None:
+        fx = FusedHaloExchange(comm, decomp, rank)
+    specs = as_field_specs(fields)
+    pending = fx.begin(specs)                       # halos now in flight
+    core = interior_core(decomp, rank)
+    for s in specs:
+        region = (slice(None),) + core if s.arr.ndim == 3 else core
+        compute_region(s.arr, region)
+    fx.finish(pending)                              # wait + unpack + EW phase
+    for strip in boundary_strip(decomp, rank):
+        for s in specs:
+            region = (slice(None),) + strip if s.arr.ndim == 3 else strip
+            compute_region(s.arr, region)
 
 
 def overlap_time(

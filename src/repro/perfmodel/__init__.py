@@ -8,6 +8,8 @@ from .network import (
     block_extents,
     comm_time_per_step,
     halo_update_cost,
+    ledger_message_summary,
+    ledger_wire_time,
     polar_fixed_cost,
 )
 from .breakdown import StepBreakdown, format_breakdown_table, step_breakdown
@@ -36,7 +38,7 @@ __all__ = [
     "MachineSpec", "MACHINES", "SUPPORT_MATRIX", "get_machine", "support_matrix_rows",
     "StepProfile", "DEFAULT_PROFILE", "measure_step_profile", "compute_time_per_step",
     "HaloCost", "halo_update_cost", "comm_time_per_step", "polar_fixed_cost",
-    "block_extents", "HALO",
+    "block_extents", "HALO", "ledger_wire_time", "ledger_message_summary",
     "predict_sypd", "predict_step_time", "sypd_from_step_time",
     "strong_scaling", "weak_scaling", "ScalingPoint",
     "portability_sypd", "optimization_speedup", "CANUTO_IMBALANCE",

@@ -69,12 +69,18 @@ def halo_update_cost(
     nz: int,
     optimized: bool = True,
     word_bytes: float = 8.0,
+    aggregation: float = 1.0,
 ) -> HaloCost:
     """Cost of one (2-D when nz == 1) halo update on one rank.
 
     ``optimized`` selects the paper's §V-D implementation (sliced /
     Kokkos pack, transposed single-message 3-D exchange) versus the
     original (naive pack, per-level messages).
+
+    ``aggregation`` models the fused multi-field fast path: when F
+    semantic updates travel fused, each pays the full bandwidth term but
+    only 1/F of the per-message latency (F fields share one message per
+    neighbour per phase).
     """
     boundary_pts = 2 * HALO * (nyl + nxl + 4 * HALO) * nz
     nbytes = boundary_pts * word_bytes
@@ -87,8 +93,39 @@ def halo_update_cost(
         staging = 2.0 * nbytes / machine.host_device_bw  # D2H + H2D
 
     messages = 4 if (optimized or nz == 1) else 4 * nz
+    if aggregation > 1.0:
+        messages = max(1, round(messages / aggregation))
     wire = messages * machine.net_latency + nbytes / machine.net_bw
     return HaloCost(pack=pack, staging=staging, wire=wire, messages=messages)
+
+
+def ledger_wire_time(machine: MachineSpec, ledger, crowd: float = 1.0) -> float:
+    """Alpha-beta wire time of *measured* traffic (a TrafficLedger).
+
+    Prices the ledger's actual message shape — count x latency plus
+    volume / bandwidth — so predictions made from a fused run
+    automatically reflect its aggregated messages.  ``crowd`` is the
+    network-contention inflation applied to the latency term.
+    """
+    return (ledger.messages * machine.net_latency * crowd
+            + ledger.bytes / machine.net_bw)
+
+
+def ledger_message_summary(ledger) -> str:
+    """Human-readable message-shape summary (for ablation artifacts)."""
+    lines = [
+        f"messages {ledger.messages}, volume {ledger.bytes / 1e6:.3f} MB, "
+        f"mean size {ledger.mean_message_bytes():.0f} B"
+    ]
+    hist = ledger.size_histogram()
+    if hist:
+        lines.append("size histogram (upper-bound bytes: count):")
+        for ub, n in hist.items():
+            lines.append(f"  <= {ub:>10d}: {n}")
+    for phase, (msgs, nbytes) in sorted(ledger.by_phase.items()):
+        lines.append(f"phase {phase:<12s} {int(msgs):6d} msgs "
+                     f"{nbytes / 1e6:10.3f} MB")
+    return "\n".join(lines)
 
 
 def polar_fixed_cost(
@@ -121,6 +158,7 @@ def comm_time_per_step(
     optimized: bool = True,
     loadbalance_factor: float = 1.0,
     word_bytes: float = 8.0,
+    aggregation: float = 1.0,
 ) -> float:
     """Total per-step communication time for one rank.
 
@@ -129,14 +167,20 @@ def comm_time_per_step(
     computation (it can never hide the pack, which is serial with the
     kernels on these systems).  ``loadbalance_factor`` (>1) inflates the
     step when the canuto imbalance is not corrected (original version).
+    ``aggregation`` (>1) is the fused-halo message-aggregation factor:
+    the mean number of semantic halo updates sharing one message (see
+    :func:`halo_update_cost`), measured from a fused step's
+    TrafficLedger as per-field messages / fused messages.
     """
     import math
 
     nyl, nxl = block_extents(cfg, ranks)
     nsub = cfg.barotropic_substeps
 
-    h3 = halo_update_cost(machine, nyl, nxl, cfg.nz, optimized, word_bytes)
-    h2 = halo_update_cost(machine, nyl, nxl, 1, optimized, word_bytes)
+    h3 = halo_update_cost(machine, nyl, nxl, cfg.nz, optimized, word_bytes,
+                          aggregation=aggregation)
+    h2 = halo_update_cost(machine, nyl, nxl, 1, optimized, word_bytes,
+                          aggregation=aggregation)
 
     # network contention grows slowly with the machine fraction in use
     nodes = max(1.0, ranks / machine.units_per_node)

@@ -34,12 +34,19 @@ def predict_step_time(
     fortran: bool = False,
     profile: StepProfile = DEFAULT_PROFILE,
     precision: str = "double",
+    aggregation: float = 1.0,
 ) -> float:
     """Wall seconds per baroclinic step on ``units`` ranks (slowest rank).
 
     ``precision="single"`` models the SViii mixed-precision projection:
     memory traffic (compute, halos, polar pack) halves while flop rate
     and message counts are unchanged.
+
+    ``aggregation`` (>1) models the fused multi-field halo fast path:
+    the mean number of semantic halo updates sharing one wire message,
+    measured from a fused run's TrafficLedger (per-field messages /
+    fused messages).  It divides the per-message latency term only;
+    volume is unchanged.
     """
     machine = get_machine(machine) if isinstance(machine, str) else machine
     if units < 1:
@@ -67,6 +74,7 @@ def predict_step_time(
         optimized=optimized,
         loadbalance_factor=lb,
         word_bytes=word,
+        aggregation=aggregation,
     )
     if units == 1:
         t_comm = 0.0
@@ -88,12 +96,13 @@ def predict_sypd(
     fortran: bool = False,
     profile: StepProfile = DEFAULT_PROFILE,
     precision: str = "double",
+    aggregation: float = 1.0,
 ) -> float:
     """End-to-end SYPD prediction."""
     m = get_machine(machine) if isinstance(machine, str) else machine
     return sypd_from_step_time(
         cfg, predict_step_time(cfg, m, units, optimized, fortran, profile,
-                               precision=precision)
+                               precision=precision, aggregation=aggregation)
     )
 
 
@@ -154,6 +163,7 @@ def weak_scaling(
     cases: Sequence[Tuple[ModelConfig, int]],
     optimized: bool = True,
     profile: StepProfile = DEFAULT_PROFILE,
+    aggregation: float = 1.0,
 ) -> List[ScalingPoint]:
     """Growing problem with (nearly) fixed per-rank load (Fig. 9).
 
@@ -161,12 +171,17 @@ def weak_scaling(
     normalised by the per-rank workload, relative to the first case —
     so a perfectly weak-scaling code scores 1.0 even though the time
     steps are identical across cases (Table IV keeps dt fixed).
+
+    ``aggregation`` (>1) applies the fused-halo message-aggregation
+    factor to every case (see :func:`predict_step_time`), so the table
+    reflects the aggregated message shape of the fused fast path.
     """
     m = get_machine(machine) if isinstance(machine, str) else machine
     rows: List[ScalingPoint] = []
     base: Optional[float] = None
     for cfg, units in cases:
-        t = predict_step_time(cfg, m, units, optimized=optimized, profile=profile)
+        t = predict_step_time(cfg, m, units, optimized=optimized, profile=profile,
+                              aggregation=aggregation)
         per_rank = cfg.grid_points / units
         grind = t / per_rank          # seconds per point per step
         if base is None:

@@ -212,6 +212,118 @@ class TestWorld:
 
         assert SimWorld.run(prog, 2, args=(100,)) == [100, 101]
 
+    def test_run_prefers_real_error_over_broken_barrier(self):
+        """A rank dying mid-collective aborts the barrier on every other
+        rank; run() must re-raise the root cause, not the fallout."""
+
+        def prog(comm):
+            if comm.rank == 2:
+                raise RuntimeError("root cause")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="root cause"):
+            SimWorld.run(prog, 4)
+
+
+class TestNonBlocking:
+    def test_request_test_is_nonblocking(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1)
+                first = req.test()          # nothing sent yet: must not block
+                comm.send("go", dest=1)
+                value = req.wait()
+                return first, value
+            comm.recv(source=0)             # wait for the flag probe
+            comm.send(42, dest=0)
+            return None
+
+        first, value = SimWorld.run(prog, 2)[0]
+        assert first is False
+        assert value == 42
+
+    def test_request_test_true_after_arrival_and_caches_result(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(3), dest=1)
+                return None
+            req = comm.irecv(source=0)
+            while not req.test():
+                pass
+            assert req.test()               # repeated test stays True
+            return req.wait()               # wait after test returns payload
+
+        out = SimWorld.run(prog, 2)[1]
+        assert np.array_equal(out, np.arange(3))
+
+    def test_send_move_transfers_ownership(self):
+        def prog(comm):
+            if comm.rank == 0:
+                data = np.ones(4)
+                comm.send(data, dest=1, move=True)
+                data[:] = 999.0   # caller broke the contract: receiver sees it
+                return None
+            return comm.recv(source=0)
+
+        assert np.array_equal(SimWorld.run(prog, 2)[1], np.full(4, 999.0))
+
+    def test_isend_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(7, dest=1)
+                assert req.test() is True   # buffered send: done at once
+                req.wait()
+                return None
+            return comm.recv(source=0)
+
+        assert SimWorld.run(prog, 2)[1] == 7
+
+
+class TestLedgerShape:
+    def test_phase_counters_and_histogram(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(16), dest=1, phase="halo3")   # 128 B
+                comm.send(np.zeros(16), dest=1, phase="halo3")
+                comm.send(np.zeros(2), dest=1, phase="halo2")    # 16 B
+                comm.send(np.zeros(100), dest=1)                 # un-phased
+            else:
+                for _ in range(4):
+                    comm.recv(source=0)
+            comm.barrier()
+            led = comm.world.traffic
+            return (led.phase_messages("halo3"), led.phase_bytes("halo3"),
+                    led.phase_messages("halo2"), led.phase_messages("none"),
+                    led.size_histogram(), led.mean_message_bytes())
+
+        h3n, h3b, h2n, missing, hist, mean = SimWorld.run(prog, 2)[0]
+        assert (h3n, h3b) == (2, 256.0)
+        assert h2n == 1 and missing == 0
+        # bins are exclusive upper bounds: 16 B -> <32, 128 B -> <256,
+        # 800 B -> <1024
+        assert hist == {32: 1, 256: 2, 1024: 1}
+        assert mean == pytest.approx((256 + 16 + 800) / 4)
+
+    def test_reset_clears_shape_counters(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(4), dest=1, phase="p")
+            else:
+                comm.recv(source=0)
+
+        world = SimWorld(2)
+        import threading
+        threads = [threading.Thread(target=prog, args=(world.comm(r),))
+                   for r in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert world.traffic.by_phase and world.traffic.size_hist
+        world.traffic.reset()
+        assert not world.traffic.by_phase and not world.traffic.size_hist
+        assert world.traffic.mean_message_bytes() == 0.0
+
 
 @settings(max_examples=15, deadline=None)
 @given(size=st.integers(1, 6), seed=st.integers(0, 50))
