@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Turn a kernelcheck JSON report into GitHub Actions annotations.
+
+Reads the ``--format=json`` output of ``python -m repro lint`` and
+emits one ``::error`` / ``::warning`` / ``::notice`` workflow command
+per finding, so violations show up inline on the pull-request diff.
+Exits 0 always — the lint step itself carries the pass/fail signal.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+LEVELS = {"error": "error", "warning": "warning", "info": "notice"}
+
+
+def main(argv: list[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("lint.json")
+    if not path.exists():
+        print(f"no report at {path}; nothing to annotate")
+        return 0
+    doc = json.loads(path.read_text())
+    findings = [f for f in doc.get("findings", []) if not f.get("suppressed")]
+    for f in findings:
+        level = LEVELS.get(f.get("severity", "warning"), "warning")
+        where = ""
+        if f.get("file"):
+            where = f"file={f['file']}"
+            if f.get("line"):
+                where += f",line={f['line']}"
+        title = f"{f['rule']}: {f['kernel']}"
+        message = f["detail"].replace("%", "%25").replace("\n", "%0A")
+        print(f"::{level} {where},title={title}::{message}"
+              if where else f"::{level} title={title}::{message}")
+    print(f"kernelcheck: {doc.get('kernels_checked', '?')} kernels, "
+          f"{len(findings)} unsuppressed findings, ok={doc.get('ok')}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,1052 @@
+"""Abstract interpretation of functor kernel bodies at the AST level.
+
+The analyzer never executes a kernel.  It parses the functor class
+source and *abstractly evaluates* the kernel body (``apply`` preferred,
+``__call__``/``reduce``/``reduce_apply`` otherwise), tracking how every
+subscript index derives from the loop indices:
+
+* ``sj, si = slices`` binds each name to a :class:`LoopSlice` carrying
+  its loop axis and an offset interval ``[lo, hi]`` (initially 0).
+* ``sh(si, 1)``, ``slice(si.start - 1, si.stop)``, ``grow(sj, 2)`` and
+  friends produce shifted/widened ``LoopSlice`` values — the analyzer
+  inlines module-level helper functions (``_upwind_fluxes``,
+  ``face_u_east``, ...) so stencil offsets buried in shared helpers are
+  still attributed to the calling kernel.
+* ``self.<attr>.data[...]`` subscripts are recorded as :class:`Access`
+  records (view/geometry array, per-axis abstract indices, read/write).
+
+Arithmetic nodes are counted along the way, giving an independent
+estimate of the kernel's flops and distinct memory streams that the
+cost-honesty rule compares against the declared
+``flops_per_point`` / ``bytes_per_point`` metadata.
+
+Everything unrecognised degrades to :data:`UNKNOWN` — the analysis is
+conservative and must never raise on valid Python.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+MAX_INLINE_DEPTH = 6
+
+# --------------------------------------------------------------------------
+# abstract values
+# --------------------------------------------------------------------------
+
+
+class AbsVal:
+    """Base class of all abstract values."""
+
+    __slots__ = ()
+
+
+class Unknown(AbsVal):
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "?"
+
+
+UNKNOWN = Unknown()
+
+
+class FreeIndex(AbsVal):
+    """An integer index not derived from the loop indices (e.g. a
+    ``range()`` variable sweeping the vertical)."""
+
+    __slots__ = ()
+
+
+FREE = FreeIndex()
+
+
+class FullSlice(AbsVal):
+    """A slice spanning a whole (non-loop) axis, e.g. ``:`` or
+    ``slice(0, nz)``."""
+
+    __slots__ = ()
+
+
+FULL = FullSlice()
+
+
+@dataclass(frozen=True)
+class Const(AbsVal):
+    value: object
+
+
+@dataclass(frozen=True)
+class LoopSlice(AbsVal):
+    """A slice derived from loop axis ``axis`` with offsets ``[lo, hi]``
+    relative to the canonical tile slice."""
+
+    axis: int
+    lo: int = 0
+    hi: int = 0
+
+    def shifted(self, d: int) -> "LoopSlice":
+        return LoopSlice(self.axis, self.lo + d, self.hi + d)
+
+    def widened(self, d: int) -> "LoopSlice":
+        return LoopSlice(self.axis, self.lo - d, self.hi + d)
+
+    @property
+    def at_origin(self) -> bool:
+        return self.lo == 0 and self.hi == 0
+
+
+@dataclass(frozen=True)
+class LoopIndex(AbsVal):
+    """An integer index derived from loop axis ``axis`` (elementwise
+    ``operator()`` kernels)."""
+
+    axis: int
+    lo: int = 0
+    hi: int = 0
+
+    @property
+    def at_origin(self) -> bool:
+        return self.lo == 0 and self.hi == 0
+
+
+@dataclass(frozen=True)
+class SliceBound(AbsVal):
+    """``s.start`` / ``s.stop`` of a loop-derived slice, plus a constant."""
+
+    axis: int
+    which: str  # "start" | "stop"
+    lo: int
+    hi: int
+
+    def plus(self, d: int) -> "SliceBound":
+        return SliceBound(self.axis, self.which, self.lo + d, self.hi + d)
+
+
+@dataclass(frozen=True)
+class SlicesParam(AbsVal):
+    """The ``slices`` tuple parameter of a vectorised tile body."""
+
+    ndim: int
+
+
+class SelfRef(AbsVal):
+    __slots__ = ()
+
+
+SELF = SelfRef()
+
+
+class DomainRef(AbsVal):
+    """The functor's :class:`~repro.ocean.localdomain.LocalDomain`."""
+
+    __slots__ = ()
+
+
+DOMAIN = DomainRef()
+
+
+@dataclass(frozen=True)
+class ViewHandle(AbsVal):
+    """A :class:`~repro.kokkos.view.View` attribute (before ``.data``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ViewData(AbsVal):
+    """The ndarray behind a view (``.data`` or ``.raw``)."""
+
+    name: str
+    raw: bool = False
+
+
+@dataclass(frozen=True)
+class GeomArray(AbsVal):
+    """A static geometry ndarray (``self.dom.mask_t``, ``self.taux``...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class AttrRef(AbsVal):
+    """An unresolved ``self.<path>`` attribute (no type annotation)."""
+
+    path: str
+
+
+class ArrayTemp(AbsVal):
+    """An anonymous intermediate array (slice result, np call, ...)."""
+
+    __slots__ = ()
+
+
+TEMP = ArrayTemp()
+
+
+@dataclass(frozen=True)
+class TupleVal(AbsVal):
+    items: Tuple[AbsVal, ...]
+
+
+@dataclass(frozen=True)
+class MultiVal(AbsVal):
+    """Union of possible values (e.g. a loop over a tuple of views)."""
+
+    options: Tuple[AbsVal, ...]
+
+
+@dataclass(eq=False)
+class FuncRef(AbsVal):
+    """A nested/module function available for inlining."""
+
+    node: ast.FunctionDef
+    closure: Dict[str, AbsVal]
+    module: object
+
+
+# --------------------------------------------------------------------------
+# access records and the collector
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Access:
+    """One subscript of a view / geometry array inside a kernel body."""
+
+    array: str
+    kind: str               # "view" | "geom" | "attr"
+    axes: Tuple[AbsVal, ...]
+    write: bool
+    aug: bool
+    raw: bool
+    lineno: int
+
+    def signature(self) -> Tuple:
+        """Hashable per-axis offset signature (for stream counting)."""
+        sig: List = []
+        for ax in self.axes:
+            if isinstance(ax, (LoopSlice, LoopIndex)):
+                sig.append((ax.axis, ax.lo, ax.hi))
+            else:
+                sig.append(None)
+        return (self.array, tuple(sig))
+
+
+# flop weights for recognised numpy calls
+_ELEMENTWISE = {
+    "maximum", "minimum", "where", "clip", "abs", "hypot", "sign",
+    "mod", "fmod", "power", "copysign", "diff",
+}
+_TRANSCENDENTAL = {
+    "cos", "sin", "tan", "exp", "log", "log10", "sqrt", "tanh",
+    "arctan", "arctan2", "arcsin", "arccos", "cbrt", "expm1", "log1p",
+}
+_REDUCTIONS = {"sum", "cumsum", "prod", "cumprod", "max", "min", "mean", "std"}
+_SHAPE_ONLY = {
+    "concatenate", "stack", "reshape", "zeros", "empty", "ones", "full",
+    "zeros_like", "empty_like", "ones_like", "full_like", "meshgrid",
+    "arange", "repeat", "asarray", "array", "broadcast_to", "squeeze",
+    "expand_dims", "transpose", "clip_none", "astype", "copy", "nonzero",
+    "errstate", "flip", "roll_none",
+}
+TRANSCENDENTAL_FLOPS = 8.0
+
+
+@dataclass
+class Collector:
+    """Shared sink of all accesses / counters for one kernel analysis."""
+
+    accesses: List[Access] = field(default_factory=list)
+    flops: float = 0.0
+    raw_uses: List[int] = field(default_factory=list)
+    inlined_methods: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def record(self, access: Access) -> None:
+        self.accesses.append(access)
+        if access.raw:
+            self.raw_uses.append(access.lineno)
+
+
+# --------------------------------------------------------------------------
+# class-level metadata: which attributes are views / geometry / domain
+# --------------------------------------------------------------------------
+
+
+def _annotation_name(node: Optional[ast.expr]) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return ""
+
+
+@dataclass
+class ClassInfo:
+    """Parsed functor class: AST, attribute map, method table."""
+
+    cls: type
+    tree: ast.ClassDef
+    methods: Dict[str, ast.FunctionDef]
+    attr_map: Dict[str, AbsVal]
+    attr_params: Dict[str, str]      # attribute -> __init__ parameter name
+    param_order: List[str]
+    filename: str
+    firstline: int
+
+
+def parse_class(cls: type) -> Optional[ClassInfo]:
+    """Parse a functor class into a :class:`ClassInfo` (None on failure)."""
+    try:
+        src = textwrap.dedent(inspect.getsource(cls))
+        filename = inspect.getsourcefile(cls) or "<unknown>"
+        _, firstline = inspect.getsourcelines(cls)
+    except (OSError, TypeError):
+        return None
+    try:
+        mod = ast.parse(src)
+    except SyntaxError:  # pragma: no cover - valid code only
+        return None
+    classdef = next(
+        (n for n in mod.body if isinstance(n, ast.ClassDef)), None)
+    if classdef is None:
+        return None
+    methods: Dict[str, ast.FunctionDef] = {}
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef):
+            methods[node.name] = node
+    # walk base classes for inherited kernel bodies (e.g. TileFunctor.__call__)
+    for base in cls.__mro__[1:]:
+        if base is object:
+            continue
+        try:
+            bsrc = textwrap.dedent(inspect.getsource(base))
+            bdef = next((n for n in ast.parse(bsrc).body
+                         if isinstance(n, ast.ClassDef)), None)
+        except (OSError, TypeError, SyntaxError):
+            continue
+        if bdef is None:
+            continue
+        for node in bdef.body:
+            if isinstance(node, ast.FunctionDef) and node.name not in methods:
+                methods[node.name] = node
+
+    attr_map, attr_params, param_order = _build_attr_map(methods.get("__init__"))
+    return ClassInfo(cls, classdef, methods, attr_map, attr_params,
+                     param_order, filename, firstline)
+
+
+def _param_value(name: str, annotation: str) -> AbsVal:
+    ann = annotation.split(".")[-1]
+    if ann == "View":
+        return ViewHandle(name)
+    if ann == "ndarray":
+        return GeomArray(name)
+    if ann == "LocalDomain":
+        return DOMAIN
+    if ann in ("int", "float", "bool", "str"):
+        return Const(None)
+    return AttrRef(name)
+
+
+def _build_attr_map(init: Optional[ast.FunctionDef]):
+    """Map ``self.<attr>`` names to abstract values using ``__init__``
+    parameter annotations and the ``self.x = param`` assignments."""
+    attr_map: Dict[str, AbsVal] = {}
+    attr_params: Dict[str, str] = {}
+    param_order: List[str] = []
+    if init is None:
+        return attr_map, attr_params, param_order
+    params: Dict[str, AbsVal] = {}
+    args = init.args
+    all_args = args.posonlyargs + args.args + args.kwonlyargs
+    for a in all_args:
+        if a.arg == "self":
+            continue
+        param_order.append(a.arg)
+        params[a.arg] = _param_value(a.arg, _annotation_name(a.annotation))
+
+    def bind(target: ast.expr, value: ast.expr) -> None:
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        attr = target.attr
+        if isinstance(value, ast.Name) and value.id in params:
+            val = params[value.id]
+            # rename view/geometry values to the attribute name so findings
+            # report the attribute the kernel actually dereferences
+            if isinstance(val, ViewHandle):
+                val = ViewHandle(attr)
+            elif isinstance(val, GeomArray):
+                val = GeomArray(attr)
+            elif isinstance(val, AttrRef):
+                val = AttrRef(attr)
+            attr_map[attr] = val
+            attr_params[attr] = value.id
+        else:
+            attr_map[attr] = UNKNOWN
+
+    for stmt in ast.walk(init):
+        if isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Tuple) and isinstance(stmt.value, ast.Tuple) \
+                        and len(tgt.elts) == len(stmt.value.elts):
+                    for t, v in zip(tgt.elts, stmt.value.elts):
+                        bind(t, v)
+                else:
+                    bind(tgt, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind(stmt.target, stmt.value)
+    return attr_map, attr_params, param_order
+
+
+# --------------------------------------------------------------------------
+# the abstract evaluator
+# --------------------------------------------------------------------------
+
+KERNEL_BODY_METHODS = ("apply", "__call__", "reduce_apply", "reduce")
+
+
+class BodyAnalyzer:
+    """Abstractly executes one function body, recording accesses."""
+
+    def __init__(self, info: ClassInfo, collector: Collector,
+                 module, depth: int = 0) -> None:
+        self.info = info
+        self.col = collector
+        self.module = module
+        self.depth = depth
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, stmts: Sequence[ast.stmt], env: Dict[str, AbsVal]) -> AbsVal:
+        result: AbsVal = UNKNOWN
+        for stmt in stmts:
+            r = self.exec_stmt(stmt, env)
+            if r is not None:
+                result = r
+        return result
+
+    def exec_stmt(self, stmt: ast.stmt, env: Dict[str, AbsVal]):
+        if isinstance(stmt, ast.Assign):
+            value = self.ev(stmt.value, env)
+            for tgt in stmt.targets:
+                self.assign(tgt, value, stmt.value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self.ev(stmt.value, env)
+            self.col.flops += 1
+            self.write_target(stmt.target, env, aug=True)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.ev(stmt.value, env)
+                self.assign(stmt.target, value, stmt.value, env)
+        elif isinstance(stmt, ast.Expr):
+            self.ev(stmt.value, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                return self.ev(stmt.value, env)
+            return UNKNOWN
+        elif isinstance(stmt, ast.If):
+            self.ev(stmt.test, env)
+            r1 = self.exec_block(stmt.body, dict(env))
+            r2 = self.exec_block(stmt.orelse, dict(env)) if stmt.orelse else None
+            if r1 is not UNKNOWN and r1 is not None:
+                return r1
+            return r2
+        elif isinstance(stmt, ast.For):
+            self.exec_for(stmt, env)
+        elif isinstance(stmt, ast.While):
+            self.ev(stmt.test, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.ev(item.context_expr, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.FunctionDef):
+            env[stmt.name] = FuncRef(stmt, dict(env), self.module)
+        elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue,
+                               ast.Raise, ast.Assert, ast.Import,
+                               ast.ImportFrom, ast.Global, ast.Nonlocal)):
+            pass
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body, env)
+            for h in stmt.handlers:
+                self.exec_block(h.body, dict(env))
+            self.exec_block(stmt.finalbody, env)
+        return None
+
+    def exec_for(self, stmt: ast.For, env: Dict[str, AbsVal]) -> None:
+        """Loop body analyzed once; targets bound from the iterable."""
+        it = stmt.iter
+        bindings: Dict[str, AbsVal] = {}
+        if isinstance(it, (ast.Tuple, ast.List)):
+            elements = [self.ev(e, env) for e in it.elts]
+            self.bind_loop_targets(stmt.target, elements, bindings)
+        elif isinstance(it, ast.Call) and isinstance(it.func, ast.Name) \
+                and it.func.id in ("range", "enumerate", "zip", "reversed"):
+            for a in it.args:
+                self.ev(a, env)
+            self.bind_free(stmt.target, bindings)
+        else:
+            self.ev(it, env)
+            self.bind_free(stmt.target, bindings)
+        env.update(bindings)
+        self.exec_block(stmt.body, env)
+        self.exec_block(stmt.orelse, env)
+
+    def bind_loop_targets(self, target: ast.expr, elements: List[AbsVal],
+                          out: Dict[str, AbsVal]) -> None:
+        if isinstance(target, ast.Name):
+            out[target.id] = _union(elements)
+        elif isinstance(target, ast.Tuple):
+            # zip of tuple literals: for fld, tau in ((a, b), (c, d))
+            for pos, sub in enumerate(target.elts):
+                col = []
+                for el in elements:
+                    if isinstance(el, TupleVal) and pos < len(el.items):
+                        col.append(el.items[pos])
+                    else:
+                        col.append(UNKNOWN)
+                self.bind_loop_targets(sub, col, out)
+
+    def bind_free(self, target: ast.expr, out: Dict[str, AbsVal]) -> None:
+        if isinstance(target, ast.Name):
+            out[target.id] = FREE
+        elif isinstance(target, ast.Tuple):
+            for sub in target.elts:
+                self.bind_free(sub, out)
+
+    # -- assignment --------------------------------------------------------
+
+    def assign(self, target: ast.expr, value: AbsVal,
+               value_node: Optional[ast.expr], env: Dict[str, AbsVal]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Tuple):
+            if isinstance(value, SlicesParam):
+                for axis, sub in enumerate(target.elts):
+                    if isinstance(sub, ast.Name):
+                        env[sub.id] = LoopSlice(axis)
+            elif isinstance(value, TupleVal):
+                for sub, item in zip(target.elts, value.items):
+                    self.assign(sub, item, None, env)
+            elif value_node is not None and isinstance(value_node, ast.Tuple) \
+                    and len(value_node.elts) == len(target.elts):
+                for sub, vn in zip(target.elts, value_node.elts):
+                    self.assign(sub, self.ev(vn, env), vn, env)
+            else:
+                for sub in target.elts:
+                    self.assign(sub, UNKNOWN, None, env)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self.write_target(target, env, aug=False)
+
+    def write_target(self, target: ast.expr, env: Dict[str, AbsVal],
+                     aug: bool) -> None:
+        """Record a store through a subscript (the racy part of kernels)."""
+        if isinstance(target, ast.Subscript):
+            base = self.ev(target.value, env)
+            axes = self.ev_axes(target.slice, env)
+            self.record_subscript(base, axes, write=True, aug=aug,
+                                  lineno=target.lineno)
+        elif isinstance(target, ast.Attribute):
+            self.ev(target.value, env)
+        elif isinstance(target, ast.Name):
+            env[target.id] = UNKNOWN
+
+    # -- expressions -------------------------------------------------------
+
+    def ev(self, node: ast.expr, env: Dict[str, AbsVal]) -> AbsVal:
+        if isinstance(node, ast.Name):
+            if node.id == "self":
+                return SELF
+            if node.id == "np" or node.id == "numpy":
+                return AttrRef("np")
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            return Const(node.value)
+        if isinstance(node, ast.Attribute):
+            return self.ev_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            base = self.ev(node.value, env)
+            axes = self.ev_axes(node.slice, env)
+            return self.record_subscript(base, axes, write=False, aug=False,
+                                         lineno=node.lineno)
+        if isinstance(node, ast.Call):
+            return self.ev_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.ev_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.ev(node.operand, env)
+            if isinstance(node.op, ast.USub) and isinstance(inner, Const) \
+                    and isinstance(inner.value, (int, float)):
+                return Const(-inner.value)
+            return inner if isinstance(inner, (ArrayTemp,)) else UNKNOWN
+        if isinstance(node, ast.Compare):
+            self.ev(node.left, env)
+            for c in node.comparators:
+                self.ev(c, env)
+            self.col.flops += len(node.comparators)
+            return TEMP
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.ev(v, env)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.ev(node.test, env)
+            a = self.ev(node.body, env)
+            b = self.ev(node.orelse, env)
+            return _union([a, b])
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return TupleVal(tuple(self.ev(e, env) for e in node.elts))
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            sub = dict(env)
+            for gen in node.generators:
+                self.ev(gen.iter, sub)
+                self.bind_free(gen.target, sub)
+            self.ev(node.elt, sub)
+            return TEMP
+        if isinstance(node, ast.Starred):
+            return self.ev(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            return UNKNOWN
+        return UNKNOWN
+
+    def ev_attribute(self, node: ast.Attribute, env: Dict[str, AbsVal]) -> AbsVal:
+        base = self.ev(node.value, env)
+        attr = node.attr
+        if isinstance(base, SelfRef):
+            if attr in self.info.attr_map:
+                return self.info.attr_map[attr]
+            if attr in self.info.methods:
+                return FuncRef(self.info.methods[attr], {}, self.module)
+            return AttrRef(attr)
+        if isinstance(base, ViewHandle):
+            if attr == "data":
+                return ViewData(base.name)
+            if attr == "raw":
+                return ViewData(base.name, raw=True)
+            return UNKNOWN  # .shape, .dtype, ...
+        if isinstance(base, DomainRef):
+            if attr in _domain_scalar_attrs():
+                return FREE
+            return GeomArray(f"dom.{attr}")
+        if isinstance(base, (LoopSlice,)):
+            if attr == "start":
+                return SliceBound(base.axis, "start", base.lo, base.lo)
+            if attr == "stop":
+                return SliceBound(base.axis, "stop", base.hi, base.hi)
+            return UNKNOWN
+        if isinstance(base, AttrRef):
+            if attr == "data":
+                return ViewData(base.path)
+            if attr == "raw":
+                return ViewData(base.path, raw=True)
+            return AttrRef(f"{base.path}.{attr}")
+        if isinstance(base, MultiVal):
+            return MultiVal(tuple(
+                self._attr_of(opt, attr) for opt in base.options))
+        if isinstance(base, (GeomArray, ArrayTemp)):
+            return base if attr in ("T",) else UNKNOWN
+        return UNKNOWN
+
+    def _attr_of(self, base: AbsVal, attr: str) -> AbsVal:
+        if isinstance(base, ViewHandle):
+            if attr == "data":
+                return ViewData(base.name)
+            if attr == "raw":
+                return ViewData(base.name, raw=True)
+        if isinstance(base, AttrRef):
+            if attr == "data":
+                return ViewData(base.path)
+            return AttrRef(f"{base.path}.{attr}")
+        if isinstance(base, DomainRef):
+            return GeomArray(f"dom.{attr}")
+        return UNKNOWN
+
+    def ev_binop(self, node: ast.BinOp, env: Dict[str, AbsVal]) -> AbsVal:
+        left = self.ev(node.left, env)
+        right = self.ev(node.right, env)
+        # slice-bound arithmetic (si.start - 1): no flop, track the offset
+        for a, b in ((left, right), (right, left)):
+            if isinstance(a, SliceBound) and isinstance(b, Const) \
+                    and isinstance(b.value, (int,)):
+                d = b.value if isinstance(node.op, ast.Add) else -b.value
+                if isinstance(node.op, (ast.Add, ast.Sub)):
+                    if isinstance(node.op, ast.Sub) and a is right:
+                        return UNKNOWN  # c - s.start: not a slice bound
+                    return a.plus(d)
+                return UNKNOWN
+        for a, b in ((left, right), (right, left)):
+            if isinstance(a, FreeIndex) and isinstance(b, Const) \
+                    and isinstance(b.value, (int, float)) \
+                    and isinstance(node.op, (ast.Add, ast.Sub, ast.Mult,
+                                             ast.FloorDiv)):
+                return FREE  # scalar setup arithmetic (nz - 1, ...)
+        for a, b in ((left, right), (right, left)):
+            if isinstance(a, (LoopIndex,)) and isinstance(b, Const) \
+                    and isinstance(b.value, int) \
+                    and isinstance(node.op, (ast.Add, ast.Sub)):
+                d = b.value if isinstance(node.op, ast.Add) else -b.value
+                if isinstance(node.op, ast.Sub) and a is right:
+                    return UNKNOWN
+                return LoopIndex(a.axis, a.lo + d, a.hi + d)
+        if isinstance(left, Const) and isinstance(right, Const) \
+                and isinstance(left.value, (int, float)) \
+                and isinstance(right.value, (int, float)):
+            try:
+                ops = {ast.Add: lambda x, y: x + y, ast.Sub: lambda x, y: x - y,
+                       ast.Mult: lambda x, y: x * y, ast.FloorDiv: lambda x, y: x // y}
+                fn = ops.get(type(node.op))
+                if fn is not None:
+                    return Const(fn(left.value, right.value))
+            except (ZeroDivisionError, TypeError):
+                pass
+        self.col.flops += 1
+        if isinstance(left, (ArrayTemp, GeomArray, ViewData)) or \
+                isinstance(right, (ArrayTemp, GeomArray, ViewData)):
+            return TEMP
+        return TEMP
+
+    # -- subscripts --------------------------------------------------------
+
+    def ev_axes(self, slc: ast.expr, env: Dict[str, AbsVal]) -> Tuple[AbsVal, ...]:
+        if isinstance(slc, ast.Tuple):
+            return tuple(self.ev_axis(e, env) for e in slc.elts)
+        return (self.ev_axis(slc, env),)
+
+    def ev_axis(self, node: ast.expr, env: Dict[str, AbsVal]) -> AbsVal:
+        if isinstance(node, ast.Slice):
+            lower = self.ev(node.lower, env) if node.lower is not None else None
+            upper = self.ev(node.upper, env) if node.upper is not None else None
+            return _slice_from_bounds(lower, upper)
+        val = self.ev(node, env)
+        if isinstance(val, (LoopSlice, LoopIndex, FullSlice, Const,
+                            FreeIndex, TupleVal, MultiVal)):
+            return val
+        if isinstance(val, SliceBound):
+            return UNKNOWN
+        if isinstance(val, (ArrayTemp, ViewData, GeomArray)):
+            return UNKNOWN  # fancy indexing through an array -> scatter
+        return val if isinstance(val, AbsVal) else UNKNOWN
+
+    def record_subscript(self, base: AbsVal, axes: Tuple[AbsVal, ...],
+                         write: bool, aug: bool, lineno: int) -> AbsVal:
+        if isinstance(base, TupleVal):
+            # subscript of the slices tuple or a tuple literal
+            if len(axes) == 1 and isinstance(axes[0], Const) \
+                    and isinstance(axes[0].value, int) \
+                    and 0 <= axes[0].value < len(base.items):
+                return base.items[axes[0].value]
+            return UNKNOWN
+        if isinstance(base, SlicesParam):
+            if len(axes) == 1 and isinstance(axes[0], Const) \
+                    and isinstance(axes[0].value, int):
+                return LoopSlice(axes[0].value)
+            return UNKNOWN
+        if isinstance(base, MultiVal):
+            out = [self.record_subscript(opt, axes, write, aug, lineno)
+                   for opt in base.options]
+            return _union(out)
+        if isinstance(base, ViewData):
+            self.col.record(Access(base.name, "view", axes, write, aug,
+                                   base.raw, lineno))
+            return TEMP
+        if isinstance(base, ViewHandle):
+            # direct View.__getitem__ / __setitem__ (elementwise kernels)
+            self.col.record(Access(base.name, "view", axes, write, aug,
+                                   False, lineno))
+            return TEMP
+        if isinstance(base, GeomArray):
+            self.col.record(Access(base.name, "geom", axes, write, aug,
+                                   False, lineno))
+            return TEMP
+        if isinstance(base, AttrRef):
+            self.col.record(Access(base.path, "attr", axes, write, aug,
+                                   False, lineno))
+            return TEMP
+        return TEMP
+
+    # -- calls -------------------------------------------------------------
+
+    def ev_call(self, node: ast.Call, env: Dict[str, AbsVal]) -> AbsVal:
+        func = node.func
+        args = node.args
+
+        # slice(...) constructor: the heart of stencil-offset tracking
+        if isinstance(func, ast.Name) and func.id == "slice":
+            vals = [self.ev(a, env) for a in args]
+            return _slice_call(vals)
+        if isinstance(func, ast.Name) and func.id == "tuple" and len(args) == 1:
+            inner = self.ev(args[0], env)
+            if isinstance(inner, (SlicesParam, TupleVal)):
+                return inner
+            return UNKNOWN
+        if isinstance(func, ast.Name) and func.id in ("min", "max") and args:
+            vals = [self.ev(a, env) for a in args]
+            bounds = [v for v in vals if isinstance(v, SliceBound)]
+            if len(bounds) == 1:
+                return bounds[0]  # clipped bound: keep the unclipped offset
+            return UNKNOWN
+        if isinstance(func, ast.Name) and func.id in (
+                "len", "int", "float", "bool", "getattr", "hasattr",
+                "isinstance", "print", "enumerate", "range", "zip"):
+            for a in args:
+                self.ev(a, env)
+            return UNKNOWN
+
+        # numpy calls
+        if isinstance(func, ast.Attribute):
+            base = self.ev(func.value, env)
+            if isinstance(base, AttrRef) and base.path == "np":
+                return self.ev_np_call(func.attr, node, env)
+            # ndarray / View methods: arr.reshape(...), arr.astype(...)
+            if isinstance(base, (GeomArray, ViewData)):
+                for a in args:
+                    self.ev(a, env)
+                if func.attr in ("reshape", "astype", "copy", "transpose"):
+                    # whole-array read (e.g. d.dz.reshape(-1, 1, 1))
+                    kind = "geom" if isinstance(base, GeomArray) else "view"
+                    name = base.name
+                    self.col.record(Access(name, kind, (), False, False,
+                                           getattr(base, "raw", False),
+                                           node.lineno))
+                    return TEMP
+                if func.attr in _REDUCTIONS:
+                    self.col.flops += 1
+                    return TEMP
+                return UNKNOWN
+            if isinstance(base, ArrayTemp):
+                for a in args:
+                    self.ev(a, env)
+                if func.attr in _REDUCTIONS:
+                    self.col.flops += 1
+                return TEMP
+            if isinstance(base, SelfRef):
+                # self.apply(...), self.helper(...): inline the method
+                method = self.info.methods.get(func.attr)
+                if method is not None:
+                    vals = [self.ev(a, env) for a in args]
+                    kwvals = {kw.arg: self.ev(kw.value, env)
+                              for kw in node.keywords if kw.arg}
+                    self.col.inlined_methods.append(func.attr)
+                    return self.inline(method, vals, kwvals, {}, self.module,
+                                       skip_self=True)
+                return UNKNOWN
+
+        # plain-name call: nested function or module-level helper
+        if isinstance(func, ast.Name):
+            target = env.get(func.id)
+            vals = [self.ev(a, env) for a in args]
+            kwvals = {kw.arg: self.ev(kw.value, env)
+                      for kw in node.keywords if kw.arg}
+            if isinstance(target, FuncRef):
+                return self.inline(target.node, vals, kwvals,
+                                   target.closure, target.module)
+            fn = getattr(self.module, func.id, None) if self.module else None
+            if inspect.isfunction(fn):
+                fnode = _function_ast(fn)
+                if fnode is not None:
+                    fmod = sys.modules.get(fn.__module__)
+                    return self.inline(fnode, vals, kwvals, {}, fmod)
+            return UNKNOWN
+
+        # anything else: evaluate arguments for their side effects
+        for a in args:
+            self.ev(a, env)
+        for kw in node.keywords:
+            self.ev(kw.value, env)
+        return UNKNOWN
+
+    def ev_np_call(self, name: str, node: ast.Call, env: Dict[str, AbsVal]) -> AbsVal:
+        for a in node.args:
+            self.ev(a, env)
+        for kw in node.keywords:
+            self.ev(kw.value, env)
+        if name in _ELEMENTWISE:
+            self.col.flops += 1
+        elif name in _TRANSCENDENTAL:
+            self.col.flops += TRANSCENDENTAL_FLOPS
+        elif name in _REDUCTIONS:
+            self.col.flops += 1
+        return TEMP
+
+    def inline(self, fnode: ast.FunctionDef, vals: List[AbsVal],
+               kwvals: Dict[str, AbsVal], closure: Dict[str, AbsVal],
+               module, skip_self: bool = False) -> AbsVal:
+        if self.depth >= MAX_INLINE_DEPTH:
+            self.col.notes.append(f"inline depth limit at {fnode.name}")
+            return UNKNOWN
+        sub = BodyAnalyzer(self.info, self.col, module, self.depth + 1)
+        env: Dict[str, AbsVal] = dict(closure)
+        params = [a.arg for a in fnode.args.posonlyargs + fnode.args.args]
+        if skip_self and params and params[0] == "self":
+            params = params[1:]
+        defaults = fnode.args.defaults
+        # bind defaults first (right-aligned), then positional, then kw
+        for pname, dnode in zip(params[len(params) - len(defaults):], defaults):
+            env[pname] = self.ev(dnode, dict(env))
+        for pname, val in zip(params, vals):
+            env[pname] = val
+        for pname, val in kwvals.items():
+            env[pname] = val
+        for a in fnode.args.kwonlyargs:
+            env.setdefault(a.arg, UNKNOWN)
+        return sub.exec_block(fnode.body, env)
+
+
+# --------------------------------------------------------------------------
+# small helpers
+# --------------------------------------------------------------------------
+
+
+def _union(vals: Sequence[AbsVal]) -> AbsVal:
+    flat: List[AbsVal] = []
+    for v in vals:
+        if isinstance(v, MultiVal):
+            flat.extend(v.options)
+        elif v is not None:
+            flat.append(v)
+    concrete = [v for v in flat if not isinstance(v, Unknown)]
+    if not concrete:
+        return UNKNOWN
+    if len(concrete) == 1:
+        return concrete[0]
+    try:
+        uniq = tuple(dict.fromkeys(concrete))
+    except TypeError:
+        uniq = tuple(concrete)
+    if len(uniq) == 1:
+        return uniq[0]
+    return MultiVal(uniq)
+
+
+def _slice_from_bounds(lower: Optional[AbsVal], upper: Optional[AbsVal]) -> AbsVal:
+    """Abstract value of an ``a:b`` slice expression."""
+    if isinstance(lower, SliceBound) or isinstance(upper, SliceBound):
+        return _slice_call([lower if lower is not None else Const(None),
+                            upper if upper is not None else Const(None)])
+    if isinstance(lower, (LoopIndex,)) or isinstance(upper, (LoopIndex,)):
+        return _slice_call([lower if lower is not None else Const(None),
+                            upper if upper is not None else Const(None)])
+    # constant / unknown bounds: spans a fixed (non-loop) region
+    return FULL
+
+
+def _slice_call(vals: List[AbsVal]) -> AbsVal:
+    """slice(a, b[, step]) with abstract bounds."""
+    if not vals:
+        return UNKNOWN
+    if len(vals) == 1:
+        return FULL if isinstance(vals[0], (Const, Unknown)) else UNKNOWN
+    a, b = vals[0], vals[1]
+    if isinstance(a, SliceBound) and isinstance(b, SliceBound) \
+            and a.axis == b.axis and a.which == "start" and b.which == "stop":
+        return LoopSlice(a.axis, a.lo, b.hi)
+    if isinstance(a, LoopIndex) and isinstance(b, LoopIndex) and a.axis == b.axis:
+        # slice(j + p, j + q): offsets [p, q-1] (stop exclusive)
+        return LoopSlice(a.axis, a.lo, b.hi - 1)
+    if isinstance(a, (Const, Unknown)) and isinstance(b, (Const, Unknown)):
+        return FULL
+    if isinstance(a, SliceBound) and isinstance(b, (Const, Unknown)):
+        # slice(s.start - 1, nz): loop-derived start, constant stop
+        return LoopSlice(a.axis, a.lo, 0) if a.which == "start" else UNKNOWN
+    if isinstance(b, SliceBound) and isinstance(a, (Const, Unknown)):
+        return LoopSlice(b.axis, 0, b.hi) if b.which == "stop" else UNKNOWN
+    return UNKNOWN
+
+
+_DOMAIN_SCALARS: Optional[set] = None
+
+
+def _domain_scalar_attrs() -> set:
+    """Scalar (non-array) attributes of LocalDomain, by annotation."""
+    global _DOMAIN_SCALARS
+    if _DOMAIN_SCALARS is None:
+        try:
+            from repro.ocean.localdomain import LocalDomain
+            anns = getattr(LocalDomain, "__annotations__", {})
+            _DOMAIN_SCALARS = {
+                name for name, typ in anns.items()
+                if typ in ("int", "float", int, float)
+            }
+        except Exception:  # pragma: no cover - localdomain importable
+            _DOMAIN_SCALARS = {"nz", "ly", "lx", "rank", "dy"}
+        _DOMAIN_SCALARS |= {"halo"}
+    return _DOMAIN_SCALARS
+
+
+def _function_ast(fn) -> Optional[ast.FunctionDef]:
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+        mod = ast.parse(src)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    node = mod.body[0] if mod.body else None
+    return node if isinstance(node, ast.FunctionDef) else None
+
+
+# --------------------------------------------------------------------------
+# top-level kernel analysis
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class KernelAnalysis:
+    """Everything the rules need about one functor's kernel body."""
+
+    info: ClassInfo
+    body_method: str
+    ndim: int
+    collector: Collector
+    error: Optional[str] = None
+
+    @property
+    def accesses(self) -> List[Access]:
+        return self.collector.accesses
+
+    @property
+    def flops(self) -> float:
+        return self.collector.flops
+
+
+def analyze_functor(functor_type: type, ndim: int,
+                    kind: str = "for") -> KernelAnalysis:
+    """Abstractly execute the primary kernel body of ``functor_type``."""
+    info = parse_class(functor_type)
+    if info is None:
+        return KernelAnalysis(
+            info=None, body_method="", ndim=ndim, collector=Collector(),  # type: ignore[arg-type]
+            error="source unavailable")
+    order = (("reduce_apply", "reduce", "apply", "__call__") if kind == "reduce"
+             else ("apply", "__call__"))
+    body_name = next((m for m in order if m in info.methods), None)
+    col = Collector()
+    if body_name is None:
+        return KernelAnalysis(info, "", ndim, col, error="no kernel body found")
+    method = info.methods[body_name]
+    module = sys.modules.get(functor_type.__module__)
+    analyzer = BodyAnalyzer(info, col, module)
+    env: Dict[str, AbsVal] = {}
+    params = [a.arg for a in method.args.args if a.arg != "self"]
+    if body_name in ("apply", "reduce_apply"):
+        if params:
+            env[params[0]] = SlicesParam(ndim)
+    else:
+        for axis, pname in enumerate(params):
+            env[pname] = LoopIndex(axis)
+        if method.args.vararg is not None:
+            env[method.args.vararg.arg] = UNKNOWN
+    try:
+        analyzer.exec_block(method.body, env)
+    except RecursionError:  # pragma: no cover - defensive
+        return KernelAnalysis(info, body_name, ndim, col,
+                              error="analysis recursion limit")
+    return KernelAnalysis(info, body_name, ndim, col)

@@ -1,0 +1,151 @@
+"""Structured findings, severities and the suppression baseline.
+
+Every kernelcheck rule reports :class:`Finding` records rather than free
+text, so the CLI can render them as text or JSON (for CI annotations)
+and so a *baseline file* can suppress known findings: the analyzer then
+fails only on regressions, the same workflow ruff/mypy baselines use.
+
+Baseline format (one entry per line, ``#`` comments allowed)::
+
+    # rule:kernel:view   (view may be '*' to match any)
+    cost-drift:my_legacy_kernel:*
+
+A finding's identity key is ``rule:kernel:view`` — stable across runs
+and line-number churn.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import IntEnum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+
+class Severity(IntEnum):
+    """Finding severity; the lint exit code fails on WARNING and above."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass
+class Finding:
+    """One rule violation on one kernel (optionally one view)."""
+
+    rule: str
+    severity: Severity
+    kernel: str
+    view: Optional[str]
+    detail: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    suppressed: bool = False
+
+    @property
+    def key(self) -> str:
+        """Stable suppression key: ``rule:kernel:view``."""
+        return f"{self.rule}:{self.kernel}:{self.view or '-'}"
+
+    def format(self) -> str:
+        loc = f"{self.file}:{self.line}: " if self.file and self.line else ""
+        sup = " [suppressed]" if self.suppressed else ""
+        view = f" view={self.view!r}" if self.view else ""
+        return (f"{loc}{self.severity}: {self.rule}: kernel "
+                f"{self.kernel!r}{view}: {self.detail}{sup}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "kernel": self.kernel,
+            "view": self.view,
+            "detail": self.detail,
+            "file": self.file,
+            "line": self.line,
+            "key": self.key,
+            "suppressed": self.suppressed,
+        }
+
+
+class Baseline:
+    """A set of suppression keys loaded from (or written to) a file."""
+
+    def __init__(self, keys: Optional[Iterable[str]] = None) -> None:
+        self.keys: Set[str] = set(keys or ())
+
+    @classmethod
+    def load(cls, path) -> "Baseline":
+        keys = []
+        for raw in Path(path).read_text().splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if line:
+                keys.append(line)
+        return cls(keys)
+
+    def save(self, path, findings: Sequence[Finding]) -> None:
+        lines = ["# kernelcheck suppression baseline (rule:kernel:view)"]
+        lines += sorted({f.key for f in findings})
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    def matches(self, finding: Finding) -> bool:
+        if finding.key in self.keys:
+            return True
+        wildcard = f"{finding.rule}:{finding.kernel}:*"
+        return wildcard in self.keys
+
+    def apply(self, findings: Sequence[Finding]) -> None:
+        """Mark matching findings as suppressed (in place)."""
+        for f in findings:
+            if self.matches(f):
+                f.suppressed = True
+
+
+@dataclass
+class Report:
+    """Outcome of one kernelcheck run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    kernels_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def failures(self) -> List[Finding]:
+        """Findings that should fail the lint (warning and above)."""
+        return [f for f in self.unsuppressed if f.severity >= Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_text(self, verbose: bool = False) -> str:
+        shown = self.findings if verbose else self.unsuppressed
+        lines = [f.format() for f in sorted(
+            shown, key=lambda f: (-int(f.severity), f.rule, f.kernel))]
+        n_sup = sum(1 for f in self.findings if f.suppressed)
+        lines.append(
+            f"kernelcheck: {self.kernels_checked} kernels, "
+            f"{len(self.rules_run)} rule families, "
+            f"{len(self.unsuppressed)} findings ({n_sup} suppressed)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kernels_checked": self.kernels_checked,
+                "rules_run": self.rules_run,
+                "ok": self.ok,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )

@@ -1,0 +1,252 @@
+"""Stencil footprints and counted costs derived from kernel accesses.
+
+The :class:`~repro.analysis.absint.BodyAnalyzer` produces a flat list of
+:class:`~repro.analysis.absint.Access` records; this module folds them
+into per-view :class:`ViewFootprint` summaries:
+
+* per-axis offset intervals relative to the canonical tile (the stencil
+  footprint — ``halo_width`` is the widest horizontal excursion),
+* read/write/scatter classification per view,
+* counted cost metrics (distinct memory streams → bytes per point,
+  arithmetic node count → flops per point) that the cost-honesty rule
+  and the perfmodel cross-check consume.
+
+The convention throughout: horizontal axes are the *last two* loop axes
+(``(j, i)`` for ndim=2, ``(k, j, i)`` for ndim=3 with an un-haloed
+vertical axis 0), matching ``MDRangePolicy`` usage in the ocean model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .absint import (
+    Access,
+    FullSlice,
+    KernelAnalysis,
+    LoopIndex,
+    LoopSlice,
+    MultiVal,
+    Unknown,
+    analyze_functor,
+)
+
+
+@dataclass
+class AxisRange:
+    """Inclusive offset interval touched on one loop axis."""
+
+    lo: int = 0
+    hi: int = 0
+
+    def widen(self, lo: int, hi: int) -> None:
+        self.lo = min(self.lo, lo)
+        self.hi = max(self.hi, hi)
+
+    @property
+    def extent(self) -> int:
+        return max(abs(self.lo), abs(self.hi))
+
+
+@dataclass
+class ViewFootprint:
+    """Aggregate access pattern of one view inside one kernel body."""
+
+    name: str
+    kind: str                                  # "view" | "geom" | "attr"
+    reads: int = 0
+    writes: int = 0
+    aug_writes: int = 0
+    raw_reads: int = 0
+    offsets: Dict[int, AxisRange] = field(default_factory=dict)
+    # write axes that are NOT loop-derived at offset 0 → race candidates
+    scatter_writes: List[Access] = field(default_factory=list)
+    shifted_writes: List[Access] = field(default_factory=list)
+    covered_axes_per_write: List[Tuple[Access, frozenset]] = field(
+        default_factory=list)
+    streams: set = field(default_factory=set)
+
+    @property
+    def halo_width(self) -> int:
+        """Widest offset on any axis (vertical axis excluded by caller)."""
+        return max((r.extent for r in self.offsets.values()), default=0)
+
+    def horizontal_halo(self, ndim: int) -> int:
+        """Widest offset over the last two (haloed) loop axes."""
+        h_axes = {ndim - 1, ndim - 2}
+        return max((r.extent for ax, r in self.offsets.items()
+                    if ax in h_axes), default=0)
+
+
+@dataclass
+class KernelFootprint:
+    """Full footprint of one functor's kernel body, ready for the rules."""
+
+    kernel: str
+    functor_type: type
+    ndim: int
+    kind: str
+    body_method: str
+    views: Dict[str, ViewFootprint] = field(default_factory=dict)
+    counted_flops: float = 0.0
+    counted_streams: int = 0
+    counted_arrays: int = 0
+    error: Optional[str] = None
+    analysis: Optional[KernelAnalysis] = None
+
+    @property
+    def counted_bytes(self) -> float:
+        """8 bytes per distinct (array, offset-signature) stream — the
+        cold-cache upper bound on traffic per point."""
+        return 8.0 * self.counted_streams
+
+    @property
+    def counted_bytes_min(self) -> float:
+        """8 bytes per distinct array — the perfect-cache lower bound
+        (offset streams of the same array hit cache); this matches the
+        seed kernels' ``bytes_per_point = N * 8`` convention."""
+        return 8.0 * self.counted_arrays
+
+    @property
+    def stencil_halo(self) -> int:
+        """Widest horizontal stencil excursion over all views."""
+        return max((vf.horizontal_halo(self.ndim)
+                    for vf in self.views.values()), default=0)
+
+    @property
+    def file(self) -> Optional[str]:
+        if self.analysis is not None and self.analysis.info is not None:
+            return self.analysis.info.filename
+        return None
+
+    @property
+    def line(self) -> Optional[int]:
+        if self.analysis is not None and self.analysis.info is not None:
+            return self.analysis.info.firstline
+        return None
+
+
+def _axis_values(val) -> List:
+    if isinstance(val, MultiVal):
+        return list(val.options)
+    return [val]
+
+
+def build_footprint(kernel: str, functor_type: type, ndim: int,
+                    kind: str = "for") -> KernelFootprint:
+    """Analyze ``functor_type`` and fold its accesses into a footprint."""
+    analysis = analyze_functor(functor_type, ndim, kind)
+    fp = KernelFootprint(kernel=kernel, functor_type=functor_type, ndim=ndim,
+                         kind=kind, body_method=analysis.body_method,
+                         analysis=analysis, error=analysis.error)
+    if analysis.error is not None:
+        return fp
+    for acc in analysis.accesses:
+        vf = fp.views.setdefault(acc.array,
+                                 ViewFootprint(acc.array, acc.kind))
+        _fold_access(vf, acc, ndim)
+    fp.counted_flops = analysis.flops
+    # count distinct streams over *view* arrays only (geometry fields are
+    # part of the working set too, but the seed declarations follow the
+    # "each distinct array/offset term is one 8-byte stream" convention
+    # including geometry — so count every array kind uniformly)
+    streams = set()
+    for vf in fp.views.values():
+        streams |= vf.streams
+    fp.counted_streams = len(streams)
+    fp.counted_arrays = len(fp.views)
+    return fp
+
+
+def _fold_access(vf: ViewFootprint, acc: Access, ndim: int) -> None:
+    if acc.write:
+        vf.writes += 1
+        if acc.aug:
+            vf.aug_writes += 1
+    else:
+        vf.reads += 1
+        if acc.raw:
+            vf.raw_reads += 1
+    vf.streams.add(acc.signature())
+
+    # fold offsets + classify write coverage
+    covered: set = set()
+    shifted = False
+    scatter = False
+    loop_axis_count = 0
+    for val in acc.axes:
+        for opt in _axis_values(val):
+            if isinstance(opt, (LoopSlice, LoopIndex)):
+                loop_axis_count += 1
+                vf.offsets.setdefault(opt.axis, AxisRange()).widen(
+                    opt.lo, opt.hi)
+                if opt.lo == 0 and opt.hi == 0:
+                    covered.add(opt.axis)
+                else:
+                    shifted = True
+            elif isinstance(opt, (FullSlice,)):
+                pass
+            elif isinstance(opt, Unknown):
+                if acc.write:
+                    scatter = True
+
+    if acc.write and acc.kind == "view":
+        want = frozenset(range(ndim))
+        got = frozenset(covered)
+        if scatter:
+            vf.scatter_writes.append(acc)
+        elif shifted and not want <= got:
+            # a write through a shifted index with no origin coverage on
+            # that axis: two loop iterations can hit the same cell
+            vf.shifted_writes.append(acc)
+        vf.covered_axes_per_write.append((acc, got))
+
+
+# --------------------------------------------------------------------------
+# perfmodel cross-check support
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class StaticKernelCost:
+    """Analyzer-side estimate of one kernel's per-point cost."""
+
+    kernel: str
+    declared_flops: float
+    declared_bytes: float
+    counted_flops: float
+    counted_bytes: float          # cold-cache bound (8 B x streams)
+    counted_bytes_min: float      # perfect-cache bound (8 B x arrays)
+
+    @property
+    def flops_ratio(self) -> float:
+        if self.declared_flops <= 0:
+            return float("inf") if self.counted_flops > 0 else 1.0
+        return self.counted_flops / self.declared_flops
+
+    @property
+    def bytes_ratio_hi(self) -> float:
+        """Declared relative to the perfect-cache lower bound."""
+        if self.counted_bytes_min <= 0:
+            return 1.0
+        return self.declared_bytes / self.counted_bytes_min
+
+    @property
+    def bytes_ratio_lo(self) -> float:
+        """Declared relative to the cold-cache upper bound."""
+        if self.counted_bytes <= 0:
+            return 1.0
+        return self.declared_bytes / self.counted_bytes
+
+
+def static_cost(fp: KernelFootprint) -> StaticKernelCost:
+    ft = fp.functor_type
+    return StaticKernelCost(
+        kernel=fp.kernel,
+        declared_flops=float(getattr(ft, "flops_per_point", 0.0)),
+        declared_bytes=float(getattr(ft, "bytes_per_point", 0.0)),
+        counted_flops=fp.counted_flops,
+        counted_bytes=fp.counted_bytes,
+        counted_bytes_min=fp.counted_bytes_min,
+    )

@@ -11,6 +11,9 @@ Commands
     ablations, validation, all).
 ``info``
     Print the machine registry and the paper configurations.
+``lint``
+    Static analysis of every registered kernel (kernelcheck):
+    ``python -m repro lint [--format json] [--baseline file]``.
 """
 
 from __future__ import annotations
@@ -111,6 +114,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import Baseline, LintConfig, run_kernelcheck
+
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except OSError as exc:
+            print(f"cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    cfg = LintConfig(baseline=baseline, scan_drivers=not args.no_drivers)
+    report = run_kernelcheck(cfg)
+    if args.write_baseline:
+        Baseline().save(args.write_baseline, report.unsuppressed)
+        print(f"baseline with {len(report.unsuppressed)} entries written "
+              f"to {args.write_baseline}")
+        return 0
+    out = (report.to_json() if args.format == "json"
+           else report.to_text(verbose=args.verbose) + ("\nOK" if report.ok else ""))
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(out + "\n")
+    else:
+        print(out)
+    return 0 if report.ok else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .experiments import tables
     from .ocean.config import PAPER_CONFIGS
@@ -155,6 +187,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="machines and configurations")
     info.set_defaults(func=_cmd_info)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis of the registered kernels (kernelcheck)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="output format (json feeds CI annotations)")
+    lint.add_argument("--output", default=None,
+                      help="write the report to a file instead of stdout")
+    lint.add_argument("--baseline", default=None,
+                      help="suppression file (rule:kernel:view per line)")
+    lint.add_argument("--write-baseline", default=None,
+                      help="write current unsuppressed findings as a baseline "
+                           "and exit")
+    lint.add_argument("--no-drivers", action="store_true",
+                      help="skip the host-side fence-discipline scan")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="also show suppressed findings")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

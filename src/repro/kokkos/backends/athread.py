@@ -36,7 +36,13 @@ from typing import List, Optional, Sequence, Tuple
 
 from ...errors import LDMError
 from ..instrument import Instrumentation
-from ..ldm import DMAEngine, LDMAllocator, SW26010_LDM_BYTES, max_tile_points
+from ..ldm import (
+    DMAEngine,
+    LDMAllocator,
+    SW26010_LDM_BYTES,
+    haloed_tile_points,
+    max_tile_points,
+)
 from ..policy import MDRangePolicy, iter_tiles, tile_volume, tiles_per_cpe, total_tiles
 from ..registry import GLOBAL_REGISTRY
 from .base import (
@@ -88,20 +94,23 @@ class AthreadBackend(ExecutionSpace):
 
         Honours an explicit ``policy.tile``.  Otherwise starts from the
         full extents and repeatedly halves the largest tile dimension
-        until (a) the tile working set fits in an LDM DMA buffer and
-        (b) there are at least ``num_cpes`` tiles (so every CPE gets
-        work when the range is large enough).
+        until (a) the tile working set — including the functor's
+        ``stencil_halo`` ring, which the DMA gets must also stage —
+        fits in an LDM DMA buffer and (b) there are at least
+        ``num_cpes`` tiles (so every CPE gets work when the range is
+        large enough).
         """
         if policy.tile is not None:
             return policy.tile
         _, bpp = functor_cost(functor)
+        halo = max(0, int(getattr(functor, "stencil_halo", 0)))
         buffers = 2 if self.double_buffer else 1
         cap = max_tile_points(bpp, self.ldm[0].capacity, buffers=buffers)
         tile = list(policy.extents)
         tile = [max(1, t) for t in tile]
 
         def vol() -> int:
-            return math.prod(tile)
+            return haloed_tile_points(tile, halo)
 
         def ntiles() -> int:
             return total_tiles(policy.extents, tile)
@@ -127,22 +136,27 @@ class AthreadBackend(ExecutionSpace):
     def _stage_tile(self, cpe: int, slices: Sequence[slice], functor) -> Tuple[float, float]:
         """LDM-allocate and DMA-stage one tile; return (bytes_in, bytes_out)."""
         vol = tile_volume(slices)
+        halo = max(0, int(getattr(functor, "stencil_halo", 0)))
+        staged = haloed_tile_points([s.stop - s.start for s in slices], halo)
         _, bpp = functor_cost(functor)
         bpp_in = float(getattr(functor, "bytes_in_per_point", bpp * 2.0 / 3.0))
         bpp_out = float(getattr(functor, "bytes_out_per_point", max(0.0, bpp - bpp_in)))
-        working = int(vol * bpp)
+        working = int(staged * bpp)
         buffers = 2 if self.double_buffer else 1
         ldm = self.ldm[cpe]
         if working * buffers > ldm.capacity:
+            ring = (
+                f" (stencil ring +-{halo} -> {staged} staged)" if staged != vol else ""
+            )
             raise LDMError(
-                f"tile of {vol} points needs {working} B x {buffers} buffers "
+                f"tile of {vol} points{ring} needs {working} B x {buffers} buffers "
                 f"which exceeds the {ldm.capacity} B LDM of CPE {cpe}; "
                 "use a smaller MDRangePolicy tile"
             )
         ldm.alloc("tile", working)
         try:
-            self.dma.get(vol * bpp_in)
-            return vol * bpp_in, vol * bpp_out
+            self.dma.get(staged * bpp_in)
+            return staged * bpp_in, vol * bpp_out
         finally:
             pass  # freed by caller after compute + put
 

@@ -52,6 +52,11 @@ class Functor:
     flops_per_point: float = 0.0
     #: Declared bytes moved per iteration point (reads + writes).
     bytes_per_point: float = 8.0
+    #: Widest horizontal stencil offset (``±k`` on the last two loop
+    #: axes) the kernel body reads.  The athread backend grows its LDM
+    #: tiles by this ring, and ``repro.analysis`` cross-checks it
+    #: against the extracted footprint and the domain halo width.
+    stencil_halo: int = 0
 
     def __call__(self, *idx: int) -> None:  # pragma: no cover - abstract
         raise NotImplementedError(

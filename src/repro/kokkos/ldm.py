@@ -16,8 +16,9 @@ memory (§VI-A).  The Athread backend uses these models to
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..errors import LDMError
 
@@ -131,6 +132,23 @@ def double_buffered_time(
         return num_tiles * (compute_per_tile + transfer_per_tile)
     steady = max(compute_per_tile, transfer_per_tile)
     return transfer_per_tile + (num_tiles - 1) * steady + compute_per_tile
+
+
+def haloed_tile_points(tile: Sequence[int], stencil_halo: int) -> int:
+    """Points a CPE must stage for one tile including its stencil ring.
+
+    A functor with ``stencil_halo = h`` reads ``+-h`` neighbours on the
+    horizontal (last two) loop axes, so each DMA get must fetch the tile
+    grown by ``2 h`` points per horizontal axis (a 1-D tile grows only
+    its single axis).  ``h = 0`` is exactly the plain tile volume, and
+    ``repro.analysis`` cross-checks declared halos against this model.
+    """
+    dims = [max(1, int(t)) for t in tile]
+    h = max(0, int(stencil_halo))
+    if h:
+        for ax in range(max(0, len(dims) - 2), len(dims)):
+            dims[ax] += 2 * h
+    return math.prod(dims)
 
 
 def max_tile_points(

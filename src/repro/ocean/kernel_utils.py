@@ -40,6 +40,10 @@ class TileFunctor:
 
     flops_per_point = 10.0
     bytes_per_point = 64.0
+    #: Widest horizontal stencil offset the body reads; origin-only by
+    #: default.  Stencil kernels must override it (kernelcheck verifies
+    #: the declaration against the extracted footprint).
+    stencil_halo = 0
 
     def __call__(self, *idx: int) -> None:
         self.apply(point_slices(idx))

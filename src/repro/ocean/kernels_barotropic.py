@@ -38,6 +38,7 @@ class BarotropicContinuityFunctor(TileFunctor):
 
     flops_per_point = 24.0
     bytes_per_point = 10 * 8.0
+    stencil_halo = 1        # corner transports + eta smoothing read ±1
 
     def __init__(
         self, ub: View, vb: View, eta_in: View, eta: View, hu: np.ndarray,
@@ -96,6 +97,7 @@ class BarotropicMomentumFunctor(TileFunctor):
 
     flops_per_point = 24.0
     bytes_per_point = 10 * 8.0
+    stencil_halo = 1        # grad(eta) averages the 4 surrounding cells
 
     def __init__(
         self, ub: View, vb: View, eta: View,

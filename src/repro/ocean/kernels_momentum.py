@@ -32,6 +32,8 @@ class BaroclinicTendencyFunctor(TileFunctor):
 
     flops_per_point = 60.0
     bytes_per_point = 12 * 8.0
+    stencil_halo = 2        # biharmonic needs the Laplacian on a ±1
+                            # ring, itself a ±1 stencil → ±2 total
 
     def __init__(
         self,
@@ -199,7 +201,7 @@ class DepthMeanFunctor(TileFunctor):
     """Depth-average a 3-D corner field over active levels into a 2-D field."""
 
     flops_per_point = 3.0
-    bytes_per_point = 3 * 8.0
+    bytes_per_point = 4 * 8.0   # fld + out + mask + dz columns
 
     def __init__(self, fld: View, out: View, domain: LocalDomain) -> None:
         self.fld = fld

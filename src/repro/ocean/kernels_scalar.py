@@ -49,7 +49,7 @@ class PressureFunctor(TileFunctor):
     """
 
     flops_per_point = 4.0
-    bytes_per_point = 2 * 8.0
+    bytes_per_point = 4 * 8.0   # rho + p + mask + dz columns
 
     def __init__(self, rho: View, p: View, mask_t: np.ndarray, dz: np.ndarray) -> None:
         self.rho = rho
@@ -81,7 +81,8 @@ class WFunctor(TileFunctor):
     """
 
     flops_per_point = 12.0
-    bytes_per_point = 6 * 8.0
+    bytes_per_point = 7 * 8.0   # u, v, w, masks + metric rows
+    stencil_halo = 1            # face divergence reads ±1 corners
 
     def __init__(self, u: View, v: View, w: View, domain: LocalDomain) -> None:
         self.u = u

@@ -146,6 +146,7 @@ class AdvectPredictorFunctor(TileFunctor):
 
     flops_per_point = 45.0
     bytes_per_point = 10 * 8.0
+    stencil_halo = 1        # upwind face fluxes read ±1 neighbours
 
     def __init__(
         self,
@@ -237,6 +238,7 @@ class FCTLimitFunctor(TileFunctor):
 
     flops_per_point = 70.0
     bytes_per_point = 14 * 8.0
+    stencil_halo = 1        # local min/max bounds over the 3x3 ring
 
     def __init__(
         self,
@@ -301,6 +303,7 @@ class FCTApplyFunctor(TileFunctor):
 
     flops_per_point = 80.0
     bytes_per_point = 16 * 8.0
+    stencil_halo = 1        # antidiffusive face fluxes read ±1
 
     def __init__(
         self,
@@ -379,6 +382,7 @@ class TracerHDiffusionFunctor(TileFunctor):
 
     flops_per_point = 25.0
     bytes_per_point = 8 * 8.0
+    stencil_halo = 1        # 5-point Laplacian
 
     def __init__(
         self,

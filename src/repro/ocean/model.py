@@ -262,6 +262,7 @@ class LICOMKpp:
             tr.record_h2d(nbytes)
 
     def _halo3(self, view: View, sign: float = 1.0, fill: float = 0.0) -> None:
+        self.space.fence()  # exchange reads results of in-flight launches
         d = self.domain
         h = d.halo
         nz = view.raw.shape[0]
@@ -269,6 +270,7 @@ class LICOMKpp:
         self.halo.update3d(view.raw, sign=sign, fill=fill)
 
     def _halo2(self, view: View, sign: float = 1.0, fill: float = 0.0) -> None:
+        self.space.fence()  # exchange reads results of in-flight launches
         d = self.domain
         h = d.halo
         self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
@@ -282,6 +284,7 @@ class LICOMKpp:
         paths are bitwise identical; the fused one aggregates messages
         and reuses persistent pack buffers.
         """
+        self.space.fence()  # exchange reads results of in-flight launches
         if not self.params.halo_fused:
             for v, sign, fill in specs:
                 self._halo3(v, sign=sign, fill=fill)
@@ -297,6 +300,7 @@ class LICOMKpp:
 
     def _halo2_group(self, specs) -> None:
         """2-D counterpart of :meth:`_halo3_group`."""
+        self.space.fence()  # exchange reads results of in-flight launches
         if not self.params.halo_fused:
             for v, sign, fill in specs:
                 self._halo2(v, sign=sign, fill=fill)
@@ -362,6 +366,8 @@ class LICOMKpp:
                     DepthMeanFunctor(st.u.new, self.um, d))
                 run("depth_mean_v_new", self.p_full2,
                     DepthMeanFunctor(st.v.new, self.vm, d))
+                # the depth means feed a host-side update next
+                self.space.fence()
                 self.gx.raw[...] = (self.um.raw - self.um_old.raw) / dt2
                 self.gy.raw[...] = (self.vm.raw - self.vm_old.raw) / dt2
                 run("coriolis_rotation", self.p_int3,
@@ -386,6 +392,9 @@ class LICOMKpp:
                         AsselinFilterFunctor(f.old, f.cur, f.new, a))
                 run("asselin_filter_ssh", self.p_full2,
                     _Asselin2D(st.ssh.old, st.ssh.cur, st.ssh.new, a))
+                # retire all launches before the host-side rotate and the
+                # NaN check read the prognostic fields
+                self.space.fence()
                 st.rotate()
 
         self.nstep += 1
@@ -423,8 +432,10 @@ class LICOMKpp:
         # (the depth-mean force gx/gy was captured pre-rotation in step())
         run("depth_mean_u_new", self.p_full2, DepthMeanFunctor(st.u.new, self.um, d))
         run("depth_mean_v_new", self.p_full2, DepthMeanFunctor(st.v.new, self.vm, d))
+        self.space.fence()  # um/vm feed the host-side negation below
         self.neg.raw[...] = -self.um.raw
         run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.neg, d))
+        self.space.fence()  # strip_u reads neg; retire it before reuse
         self.neg.raw[...] = -self.vm.raw
         run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.neg, d))
 
@@ -478,9 +489,13 @@ class LICOMKpp:
         n = len(tracers)
         work, tst = self.tdiff_work_all, self.tstar_all
         rp, rm = self.rplus_all, self.rminus_all
-        # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old)
+        # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old).
+        # Host copies complete before any launch: interleaving a copy of
+        # work[i+1] with the in-flight hdiff of work[i] would race on an
+        # async backend (kernelcheck memory-space rule).
         for i, (fld, _, _) in enumerate(tracers):
             work[i].raw[...] = fld.old.raw
+        for i, (fld, _, _) in enumerate(tracers):
             run("tracer_hdiff", self.p_int2,
                 TracerHDiffusionFunctor(fld.old, work[i], d, dt2, self.tdiff))
         with self.timers.timer("halo_tracer"):

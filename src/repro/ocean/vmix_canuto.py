@@ -85,6 +85,7 @@ class CanutoMixFunctor(TileFunctor):
 
     flops_per_point = 90.0
     bytes_per_point = 10 * 8.0
+    stencil_halo = 1        # corner->center (u, v) average reads -1..0
 
     def __init__(
         self,

@@ -75,8 +75,8 @@ MACHINES: Dict[str, MachineSpec] = {
         host_device_bw=12.0e9,
         net_bw=12.5e9,
         net_latency=2.0e-6,
-        mem_efficiency=0.05509,       # calibrated: Fig 7, 317.73 SYPD
-        host_efficiency=0.12621,      # calibrated: Fig 7, 7.08x speedup
+        mem_efficiency=0.05711,       # calibrated: Fig 7, 317.73 SYPD
+        host_efficiency=0.13085,      # calibrated: Fig 7, 7.08x speedup
     ),
     "orise": MachineSpec(
         name="orise",
@@ -92,8 +92,8 @@ MACHINES: Dict[str, MachineSpec] = {
         host_device_bw=16.0e9,        # paper: 32-bit PCIe DMA, 16 GB/s
         net_bw=25.0e9,                # paper: 25 GB/s network
         net_latency=3.0e-6,
-        mem_efficiency=0.32974,       # calibrated: Table V 1-km anchors
-        host_efficiency=0.08852,      # calibrated: Fig 7, 11.42x speedup
+        mem_efficiency=0.34185,       # calibrated: Table V 1-km anchors
+        host_efficiency=0.09177,      # calibrated: Fig 7, 11.42x speedup
         polar_factor=0.5229,          # calibrated: Table V 1-km efficiency
         contention=0.0003,            # calibrated: Fig 9 weak scaling
         pack_bw=101.0e9,              # calibrated: pack/unpack path
@@ -112,8 +112,8 @@ MACHINES: Dict[str, MachineSpec] = {
         host_device_bw=None,          # unified memory space (paper §V-B)
         net_bw=14.0e9,
         net_latency=4.0e-6,
-        mem_efficiency=0.05026,       # calibrated: Table V 1-km anchors
-        host_efficiency=0.02116,      # calibrated: Fig 7, 11.45x speedup
+        mem_efficiency=0.05211,       # calibrated: Table V 1-km anchors
+        host_efficiency=0.02194,      # calibrated: Fig 7, 11.45x speedup
         polar_factor=0.0951,          # calibrated: Table V 1-km efficiency
         contention=0.0,               # calibrated: Fig 9 weak scaling
         pack_bw=49.588e9,             # MPE-side pack bandwidth
@@ -132,8 +132,8 @@ MACHINES: Dict[str, MachineSpec] = {
         host_device_bw=None,
         net_bw=12.5e9,
         net_latency=2.0e-6,
-        mem_efficiency=0.10435,       # calibrated: Fig 7, 63.01 SYPD
-        host_efficiency=0.10096,      # calibrated: Fig 7, 1.03x speedup
+        mem_efficiency=0.10818,       # calibrated: Fig 7, 63.01 SYPD
+        host_efficiency=0.10467,      # calibrated: Fig 7, 1.03x speedup
     ),
 }
 

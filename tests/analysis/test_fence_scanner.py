@@ -1,0 +1,98 @@
+"""FenceScanner unit tests on synthetic driver sources.
+
+``parallel_for`` is asynchronous by contract; host ``.raw`` access to a
+view a launch writes (or an overwrite of one it reads) needs a
+``fence()`` in between.  ``Upd(u, v)`` below writes its first ctor
+param and reads its second.
+"""
+
+import ast
+
+from repro.analysis.runner import FenceScanner
+
+WRITE_MAP = {"Upd": (["u"], ["v"], ["u", "v"])}
+
+
+def scan(method_src: str):
+    src = "class Driver:\n" + "\n".join(
+        "    " + line for line in method_src.strip("\n").splitlines())
+    cls = ast.parse(src).body[0]
+    fn = cls.body[0]
+    return FenceScanner(fn, f"Driver.{fn.name}", WRITE_MAP, "mod.py").scan()
+
+
+def test_read_of_launched_write_is_flagged():
+    findings = scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    return self.u.raw[0, 0]
+""")
+    assert len(findings) == 1
+    assert findings[0].rule == "memory-space"
+    assert "self.u" in findings[0].detail
+
+
+def test_fence_clears_the_hazard():
+    assert scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    self.space.fence()
+    return self.u.raw[0, 0]
+""") == []
+
+
+def test_overwrite_of_launched_read_is_flagged():
+    findings = scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    self.v.raw[...] = 0.0
+""")
+    assert len(findings) == 1
+    assert "self.v" in findings[0].detail
+
+
+def test_unrelated_view_is_fine():
+    assert scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    return self.w.raw[0, 0]
+""") == []
+
+
+def test_loop_carried_hazard_found_on_second_sweep():
+    findings = scan("""
+def step(self):
+    for _ in range(3):
+        x = self.u.raw[0, 0]
+        self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    return x
+""")
+    assert len(findings) == 1
+
+
+def test_self_method_call_assumed_to_synchronize():
+    assert scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    self._halo3(self.u)
+    return self.u.raw[0, 0]
+""") == []
+
+
+def test_parallel_reduce_synchronizes():
+    assert scan("""
+def step(self):
+    self.space.parallel_for("upd", pol, Upd(self.u, self.v))
+    e = self.space.parallel_reduce("ke", pol, KE(self.u), red)
+    return self.u.raw[0, 0]
+""") == []
+
+
+def test_functor_bound_to_name_first_is_still_tracked():
+    findings = scan("""
+def step(self):
+    upd = Upd(self.u, self.v)
+    self.space.parallel_for("upd", pol, upd)
+    return self.u.raw[0, 0]
+""")
+    assert len(findings) == 1

@@ -1,0 +1,86 @@
+"""Finding identity, the suppression baseline, and the lint CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Finding, Report, Severity
+from repro.cli import main
+
+
+def finding(rule="cost-drift", kernel="k", view="v",
+            severity=Severity.WARNING):
+    return Finding(rule=rule, severity=severity, kernel=kernel, view=view,
+                   detail="test detail")
+
+
+class TestBaseline:
+    def test_exact_key_suppresses(self):
+        f = finding()
+        b = Baseline([f.key])
+        b.apply([f])
+        assert f.suppressed
+
+    def test_wildcard_view_suppresses(self):
+        b = Baseline(["cost-drift:k:*"])
+        assert b.matches(finding(view="v"))
+        assert b.matches(finding(view=None))
+        assert not b.matches(finding(kernel="other"))
+
+    def test_roundtrip_through_file(self, tmp_path):
+        f1, f2 = finding(), finding(rule="race-write", view=None)
+        path = tmp_path / "baseline.txt"
+        Baseline().save(path, [f1, f2])
+        loaded = Baseline.load(path)
+        assert loaded.matches(f1) and loaded.matches(f2)
+        assert not loaded.matches(finding(kernel="fresh"))
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "b.txt"
+        path.write_text("# comment\n\ncost-drift:k:v  # trailing\n")
+        assert Baseline.load(path).matches(finding())
+
+
+class TestReport:
+    def test_suppressed_findings_do_not_fail(self):
+        f = finding()
+        rep = Report(findings=[f], kernels_checked=1, rules_run=["cost-drift"])
+        assert not rep.ok
+        Baseline([f.key]).apply(rep.findings)
+        assert rep.ok and rep.unsuppressed == []
+
+    def test_info_findings_do_not_fail(self):
+        rep = Report(findings=[finding(severity=Severity.INFO)],
+                     kernels_checked=1, rules_run=["x"])
+        assert rep.ok and rep.unsuppressed
+
+    def test_text_report_mentions_summary(self):
+        rep = Report(findings=[finding()], kernels_checked=3, rules_run=["x"])
+        text = rep.to_text()
+        assert "3 kernels" in text and "cost-drift" in text
+
+
+class TestLintCli:
+    def test_exit_zero_and_json_on_clean_tree(self, tmp_path):
+        out = tmp_path / "lint.json"
+        rc = main(["lint", "--format", "json", "--output", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["ok"] is True and doc["findings"] == []
+
+    def test_text_output_says_ok(self, capsys):
+        assert main(["lint"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_write_baseline(self, tmp_path, capsys):
+        path = tmp_path / "baseline.txt"
+        assert main(["lint", "--write-baseline", str(path)]) == 0
+        assert path.read_text().startswith("#")
+
+    def test_missing_baseline_file_is_an_error(self, tmp_path):
+        rc = main(["lint", "--baseline", str(tmp_path / "nope.txt")])
+        assert rc == 2
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "--format", "yaml"])

@@ -1,0 +1,55 @@
+"""Golden tests: each broken mini-functor trips exactly its one rule."""
+
+import pytest
+
+from repro.analysis import (
+    RuleConfig,
+    Severity,
+    build_footprint,
+    run_rules,
+)
+from tests.analysis import broken
+
+CASES = [
+    (broken.ScatterWriteFunctor, "race-write"),
+    (broken.HaloOverrunFunctor, "halo-overrun"),
+    (broken.HostDerefFunctor, "memory-space"),
+    (broken.RawInKernelFunctor, "memory-space"),
+    (broken.DishonestFlopsFunctor, "cost-drift"),
+    (broken.AliasHazardFunctor, "alias-hazard"),
+]
+
+
+def footprint(cls):
+    return build_footprint(cls.__name__, cls, ndim=2, kind="for")
+
+
+@pytest.mark.parametrize("cls,rule", CASES, ids=[c.__name__ for c, _ in CASES])
+def test_broken_functor_trips_exactly_its_rule(cls, rule):
+    fp = footprint(cls)
+    assert fp.error is None
+    findings = run_rules(fp, RuleConfig())
+    assert [f.rule for f in findings] == [rule]
+    assert findings[0].severity >= Severity.WARNING
+    assert findings[0].kernel == cls.__name__
+
+
+def test_clean_functor_has_no_findings():
+    findings = run_rules(footprint(broken.CleanFunctor), RuleConfig())
+    assert findings == []
+
+
+def test_scatter_write_names_the_view():
+    findings = run_rules(footprint(broken.ScatterWriteFunctor), RuleConfig())
+    assert findings[0].view == "out"
+
+
+def test_halo_footprint_is_extracted_not_declared():
+    fp = footprint(broken.HaloOverrunFunctor)
+    assert fp.stencil_halo == 2        # what the body actually reads
+    assert broken.HaloOverrunFunctor.stencil_halo == 1  # what it claims
+
+
+def test_dishonest_flops_reports_both_numbers():
+    findings = run_rules(footprint(broken.DishonestFlopsFunctor), RuleConfig())
+    assert "40" in findings[0].detail and "1" in findings[0].detail
