@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: eager stepping vs graph replay + arena (BENCH_step).
+
+Times steady-state baroclinic steps of the tiny demo configuration on
+the athread (tiled) backend twice — once with eager dispatch and
+per-call temporary allocation (the pre-graph baseline), once with the
+step graph sealed (cached launch plans + elementwise fusion) and the
+workspace arena on — and writes ``BENCH_step.json`` with best-of-
+``repeats`` steps/sec, workspace allocations per step, and the
+launch-count accounting from the sealed graph.
+
+The athread backend is the benchmark config because it is the
+dispatch-bound path the optimization targets: every launch pays the
+tile sweep's spawn/join analogue, so cached plans and fused launches
+move wall-clock, not just counters.  Numerics are bitwise identical in
+both modes (enforced by ``tests/kokkos/test_graph.py``); this benchmark
+only measures speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_step_wallclock.py [--smoke]
+
+``--smoke`` shrinks the run for CI and compares against the committed
+``BENCH_step.json`` baseline instead of the absolute thresholds,
+failing on a >15% speedup regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.kokkos import AthreadBackend, Instrumentation
+from repro.ocean import LICOMKpp, demo
+from repro.ocean.model import ModelParams
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+
+
+def _make_model(params: ModelParams):
+    """Model warmed past the Euler start step (and graph capture)."""
+    inst = Instrumentation()
+    model = LICOMKpp(demo("tiny"), backend=AthreadBackend(inst=inst),
+                     params=params)
+    model.run_steps(2)
+    return model, inst
+
+
+def _mode_stats(model, inst, best: float, steps: int) -> dict:
+    """Steady-state rates and allocation counts for one timed mode."""
+    inst.workspace.requests = 0
+    inst.workspace.allocations = 0
+    model.run_steps(steps)
+    ws = inst.workspace
+    graphs = [g for (startup, _), g in getattr(model, "_graphs", {}).items()
+              if not startup]
+    graph = graphs[0] if graphs else None
+    return {
+        "steps_per_sec": steps / best,
+        "workspace_requests_per_step": ws.requests / steps,
+        "allocations_per_step": ws.allocations / steps,
+        "captured_launches": graph.captured_launches if graph else None,
+        "replay_launches": graph.launches_per_replay if graph else None,
+        "fused_groups": graph.fused_groups if graph else None,
+    }
+
+
+def run_benchmark(steps: int = 8, repeats: int = 6) -> dict:
+    """Best-of-``repeats`` steps/sec, eager vs graph+arena.
+
+    The two modes are timed in *interleaved* repeats (eager chunk, then
+    graph chunk, repeatedly) so slow machine drift lands on both sides
+    of the ratio instead of biasing whichever mode ran last.
+    """
+    m_eager, i_eager = _make_model(ModelParams(graph=False, arena=False))
+    m_graph, i_graph = _make_model(ModelParams(graph=True, arena=True))
+    best_eager = best_graph = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        m_eager.run_steps(steps)
+        best_eager = min(best_eager, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        m_graph.run_steps(steps)
+        best_graph = min(best_graph, time.perf_counter() - t0)
+    eager = _mode_stats(m_eager, i_eager, best_eager, steps)
+    graph = _mode_stats(m_graph, i_graph, best_graph, steps)
+    alloc_eager = eager["allocations_per_step"]
+    alloc_graph = graph["allocations_per_step"]
+    return {
+        "config": {
+            "size": "tiny", "backend": "athread",
+            "steps": steps, "repeats": repeats,
+        },
+        "eager": eager,
+        "graph_arena": graph,
+        "speedup": graph["steps_per_sec"] / eager["steps_per_sec"],
+        # a warm arena allocates nothing, so floor the denominator at
+        # one allocation per step to keep the ratio meaningful
+        "allocation_reduction": alloc_eager / max(alloc_graph, 1.0),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small run for CI; compares against --baseline "
+                         "instead of the absolute thresholds")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=ARTIFACTS / "BENCH_step.json")
+    ap.add_argument("--baseline", type=pathlib.Path,
+                    default=ARTIFACTS / "BENCH_step.json",
+                    help="committed result the smoke run must stay within "
+                         "15%% of")
+    ap.add_argument("--min-speedup", type=float, default=1.3)
+    ap.add_argument("--min-alloc-reduction", type=float, default=5.0)
+    args = ap.parse_args(argv)
+
+    baseline = None
+    if args.smoke and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+
+    if args.smoke:
+        result = run_benchmark(steps=3, repeats=2)
+    else:
+        result = run_benchmark()
+
+    if not args.smoke or args.out != args.baseline:
+        args.out.parent.mkdir(exist_ok=True)
+        args.out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}")
+
+    e, g = result["eager"], result["graph_arena"]
+    print(f"eager:       {e['steps_per_sec']:8.2f} steps/sec "
+          f"({e['allocations_per_step']:.0f} allocations/step)")
+    print(f"graph+arena: {g['steps_per_sec']:8.2f} steps/sec "
+          f"({g['allocations_per_step']:.0f} allocations/step, "
+          f"{g['captured_launches']} launches fused into "
+          f"{g['replay_launches']})")
+    print(f"speedup: {result['speedup']:.2f}x   "
+          f"allocation reduction: {result['allocation_reduction']:.0f}x")
+
+    failures = []
+    if args.smoke:
+        if baseline is not None:
+            floor = 0.85 * baseline["speedup"]
+            if result["speedup"] < floor:
+                failures.append(
+                    f"speedup {result['speedup']:.2f}x regressed >15% below "
+                    f"baseline {baseline['speedup']:.2f}x")
+            if (result["graph_arena"]["allocations_per_step"]
+                    > baseline["graph_arena"]["allocations_per_step"]):
+                failures.append(
+                    "steady-state arena allocations/step regressed above "
+                    f"baseline "
+                    f"{baseline['graph_arena']['allocations_per_step']:.0f}")
+    else:
+        if result["speedup"] < args.min_speedup:
+            failures.append(f"speedup {result['speedup']:.2f}x "
+                            f"< {args.min_speedup}x")
+        if result["allocation_reduction"] < args.min_alloc_reduction:
+            failures.append(
+                f"allocation reduction {result['allocation_reduction']:.1f}x "
+                f"< {args.min_alloc_reduction}x")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

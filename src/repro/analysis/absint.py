@@ -151,6 +151,21 @@ class DomainRef(AbsVal):
 DOMAIN = DomainRef()
 
 
+class WorkspaceRef(AbsVal):
+    """The kernel's scratch arena (``dom.workspace`` / ``dom.scratch()``).
+
+    ``take`` hands back an anonymous preallocated temporary — the
+    analysis treats it exactly like any other intermediate array, so
+    arena-based ``out=`` bodies footprint identically to their
+    allocating equivalents.
+    """
+
+    __slots__ = ()
+
+
+WORKSPACE = WorkspaceRef()
+
+
 @dataclass(frozen=True)
 class ViewHandle(AbsVal):
     """A :class:`~repro.kokkos.view.View` attribute (before ``.data``)."""
@@ -242,6 +257,12 @@ class Access:
 _ELEMENTWISE = {
     "maximum", "minimum", "where", "clip", "abs", "hypot", "sign",
     "mod", "fmod", "power", "copysign", "diff",
+    # the ``out=`` ufunc spellings the arena-based apply bodies use in
+    # place of operator arithmetic (np.add(a, b, out=buf) == a + b)
+    "add", "subtract", "multiply", "divide", "true_divide",
+    "floor_divide", "negative", "reciprocal", "copyto",
+    "greater", "greater_equal", "less", "less_equal", "equal",
+    "not_equal", "logical_and", "logical_or", "logical_not",
 }
 _TRANSCENDENTAL = {
     "cos", "sin", "tan", "exp", "log", "log10", "sqrt", "tanh",
@@ -253,7 +274,7 @@ _SHAPE_ONLY = {
     "zeros_like", "empty_like", "ones_like", "full_like", "meshgrid",
     "arange", "repeat", "asarray", "array", "broadcast_to", "squeeze",
     "expand_dims", "transpose", "clip_none", "astype", "copy", "nonzero",
-    "errstate", "flip", "roll_none",
+    "errstate", "flip", "roll_none", "result_type", "dtype",
 }
 TRANSCENDENTAL_FLOPS = 8.0
 
@@ -635,6 +656,8 @@ class BodyAnalyzer:
                 return ViewData(base.name, raw=True)
             return UNKNOWN  # .shape, .dtype, ...
         if isinstance(base, DomainRef):
+            if attr == "workspace":
+                return WORKSPACE
             if attr in _domain_scalar_attrs():
                 return FREE
             return GeomArray(f"dom.{attr}")
@@ -807,6 +830,16 @@ class BodyAnalyzer:
             base = self.ev(func.value, env)
             if isinstance(base, AttrRef) and base.path == "np":
                 return self.ev_np_call(func.attr, node, env)
+            # workspace arena: dom.scratch() -> the arena; ws.take(...)
+            # -> an anonymous preallocated temporary (no view access)
+            if isinstance(base, DomainRef) and func.attr == "scratch":
+                return WORKSPACE
+            if isinstance(base, WorkspaceRef):
+                for a in args:
+                    self.ev(a, env)
+                for kw in node.keywords:
+                    self.ev(kw.value, env)
+                return TEMP if func.attr == "take" else UNKNOWN
             # ndarray / View methods: arr.reshape(...), arr.astype(...)
             if isinstance(base, (GeomArray, ViewData)):
                 for a in args:

@@ -87,6 +87,10 @@ def collect_footprints(cfg: LintConfig) -> List[KernelFootprint]:
         seen.add(ft)
         if not ft.__module__.startswith(cfg.module_prefix):
             continue
+        if getattr(ft, "__kernelcheck_skip__", False):
+            # composite bodies (e.g. the graph's FusedTileFunctor) delegate
+            # to parts that are registered — and analyzed — individually
+            continue
         footprints.append(
             build_footprint(entry.name, ft, entry.ndim, entry.kind))
     footprints.sort(key=lambda fp: fp.kernel)
@@ -194,8 +198,11 @@ class FenceScanner(ast.NodeVisitor):
 
     def handle_assign(self, stmt: ast.Assign) -> None:
         value = stmt.value
-        # run = self.space.parallel_for  (launch alias)
-        if isinstance(value, ast.Attribute) and value.attr == "parallel_for":
+        # run = self.space.parallel_for / run = self._run  (launch aliases;
+        # _run is the model's capture-aware dispatch with the same
+        # (label, policy, functor) signature)
+        if isinstance(value, ast.Attribute) and value.attr in (
+                "parallel_for", "_run"):
             for tgt in stmt.targets:
                 if isinstance(tgt, ast.Name):
                     self.launch_aliases.add(tgt.id)
@@ -231,9 +238,11 @@ class FenceScanner(ast.NodeVisitor):
             for a in expr.args:
                 self.check_expr(a)
             return
-        # direct or aliased launch
+        # direct or aliased launch (self._run is a launch, not a sync:
+        # it forwards straight to parallel_for, recording when capturing)
         is_launch = (
-            (isinstance(func, ast.Attribute) and func.attr == "parallel_for")
+            (isinstance(func, ast.Attribute)
+             and func.attr in ("parallel_for", "_run"))
             or (isinstance(func, ast.Name) and func.id in self.launch_aliases)
         )
         if is_launch:

@@ -68,6 +68,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             ablations.format_loadbalance(ablations.loadbalance_study("tiny", (4, 16))),
             ablations.format_halo_ablation(),
             ablations.format_registry_ablation(),
+            ablations.format_graph_ablation(),
             performance.format_optimizations(),
         ]),
         "fig1": lambda: science.format_fig1(science.run_fig1("tiny", days=2.0)),

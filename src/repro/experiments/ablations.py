@@ -8,6 +8,10 @@
 * A3 — functor-registry variants (§V-B): lookup cost of the linked
   list, with/without the LDM move-to-front cache and SIMD matching,
   against a hash map.
+* A4 — step-graph capture & replay: launches per step eager vs the
+  sealed graph (elementwise fusion merges adjacent compatible
+  launches), plus measured steps/sec for the launch-plan cache and
+  workspace arena.
 """
 
 from __future__ import annotations
@@ -227,4 +231,81 @@ def format_registry_ablation() -> str:
         lines.append(
             f"{name:<14s} {t * 1e3:>9.3f} {c:>12d} {base_c / max(c, 1):>13.2f}x"
         )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# A4 — step-graph capture & replay
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphStudy:
+    """Launches-per-step accounting: eager dispatch vs sealed graph."""
+
+    eager_launches_per_step: float   # instrumented, steady state
+    captured_launches: int           # nodes recorded during capture
+    replay_launches: int             # launches one replay issues
+    fused_groups: int                # adjacent runs merged by the pass
+    eager_steps_per_sec: float
+    graph_steps_per_sec: float
+
+    @property
+    def launches_saved(self) -> int:
+        return self.captured_launches - self.replay_launches
+
+    @property
+    def speedup(self) -> float:
+        return self.graph_steps_per_sec / max(self.eager_steps_per_sec, 1e-30)
+
+
+def graph_study(size: str = "tiny", steps: int = 6) -> GraphStudy:
+    """A4 — measure the launch-count and wall-clock effect of replay.
+
+    Both runs warm up past the Euler start step before timing, so the
+    graph run times pure replay (capture happened during warmup) and the
+    eager run times the same steady-state step sequence.
+    """
+    from ..kokkos import Instrumentation, SerialBackend
+    from ..ocean import LICOMKpp, demo
+    from ..ocean.model import ModelParams
+
+    cfg = demo(size)
+
+    def run(params: ModelParams):
+        inst = Instrumentation()
+        model = LICOMKpp(cfg, backend=SerialBackend(inst=inst), params=params)
+        model.run_steps(2)          # past the Euler start (and graph capture)
+        inst.reset()
+        t0 = time.perf_counter()
+        model.run_steps(steps)
+        dt = time.perf_counter() - t0
+        return model, inst, steps / dt
+
+    eager_model, eager_inst, eager_sps = run(ModelParams())
+    graph_model, _, graph_sps = run(ModelParams(graph=True))
+    steady = [g for (startup, _), g in graph_model._graphs.items()
+              if not startup]
+    graph = steady[0] if steady else next(iter(graph_model._graphs.values()))
+    return GraphStudy(
+        eager_launches_per_step=eager_inst.total_launches / steps,
+        captured_launches=graph.captured_launches,
+        replay_launches=graph.launches_per_replay,
+        fused_groups=graph.fused_groups,
+        eager_steps_per_sec=eager_sps,
+        graph_steps_per_sec=graph_sps,
+    )
+
+
+def format_graph_ablation(study: GraphStudy | None = None) -> str:
+    s = graph_study() if study is None else study
+    lines = [
+        "step-graph capture & replay (tiny, serial, steady state):",
+        f"  eager launches/step:   {s.eager_launches_per_step:8.1f}",
+        f"  captured launches:     {s.captured_launches:8d}",
+        f"  replay launches/step:  {s.replay_launches:8d} "
+        f"({s.fused_groups} fused groups, {s.launches_saved} saved)",
+        f"  eager steps/sec:       {s.eager_steps_per_sec:8.2f}",
+        f"  graph steps/sec:       {s.graph_steps_per_sec:8.2f} "
+        f"({s.speedup:.2f}x)",
+    ]
     return "\n".join(lines)

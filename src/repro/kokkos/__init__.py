@@ -74,7 +74,14 @@ from .backends import (
     Sum,
     make_backend,
 )
-from .instrument import GLOBAL_INSTRUMENTATION, Instrumentation, KernelStats
+from .graph import FusedTileFunctor, HostNode, KernelNode, LaunchGraph
+from .instrument import (
+    GLOBAL_INSTRUMENTATION,
+    Instrumentation,
+    KernelStats,
+    WorkspaceStats,
+)
+from .workspace import Workspace, null_workspace
 from .ldm import DMAEngine, LDMAllocator, SW26010_LDM_BYTES, double_buffered_time
 from .parallel import (
     default_space,
@@ -106,8 +113,11 @@ __all__ = [
     # backends
     "ExecutionSpace", "SerialBackend", "OpenMPBackend", "AthreadBackend",
     "DeviceBackend", "make_backend", "Reducer", "Sum", "Prod", "Min", "Max",
+    # graph capture / workspace arena
+    "LaunchGraph", "KernelNode", "HostNode", "FusedTileFunctor",
+    "Workspace", "null_workspace",
     # instrumentation / ldm
-    "Instrumentation", "KernelStats", "GLOBAL_INSTRUMENTATION",
+    "Instrumentation", "KernelStats", "WorkspaceStats", "GLOBAL_INSTRUMENTATION",
     "LDMAllocator", "DMAEngine", "SW26010_LDM_BYTES", "double_buffered_time",
     # dispatch
     "initialize", "finalize", "is_initialized", "default_space",

@@ -43,10 +43,18 @@ from ..ldm import (
     haloed_tile_points,
     max_tile_points,
 )
-from ..policy import MDRangePolicy, iter_tiles, tile_volume, tiles_per_cpe, total_tiles
+from ..policy import (
+    MDRangePolicy,
+    as_md,
+    iter_tiles,
+    tile_volume,
+    tiles_per_cpe,
+    total_tiles,
+)
 from ..registry import GLOBAL_REGISTRY
 from .base import (
     ExecutionSpace,
+    LaunchPlan,
     Reducer,
     apply_tile,
     check_host_views,
@@ -56,6 +64,87 @@ from .base import (
 
 #: CPEs per core group on the SW26010 Pro.
 SW26010_CPES_PER_CG = 64
+
+
+class _AthreadPlan(LaunchPlan):
+    """Registry lookup, tiling, LDM fit proof and DMA sizes baked in.
+
+    The eager path pays registry walk + tile sizing per launch and an
+    LDM alloc / DMA get / DMA put / LDM free cycle per tile.  Sealing a
+    plan does all of that once: the fit proof runs at seal time, and
+    the per-tile staging sizes are pre-summed into per-launch DMA
+    totals and per-CPE LDM peaks, so a replay is the bare tile sweep
+    followed by one batched ledger update.  The accounting the machine
+    model consumes (DMA byte/descriptor totals, LDM high water) ends
+    each launch identical to the eager path.
+    """
+
+    __slots__ = ("_callback", "_apply", "_tile_slices", "_distribution",
+                 "_get_total", "_put_total", "_ldm_peaks")
+
+    def __init__(self, space, label, policy, functor) -> None:
+        super().__init__(space, label, policy, functor)
+        check_host_views(functor, space.name)
+        self._callback = space._lookup_callback(functor, "for")
+        # When the registered callback is the generated trampoline and the
+        # functor has a vectorised ``apply``, the trampoline reduces to
+        # ``functor.apply(tuple(slices))`` — bind that once so the replay
+        # sweep skips the per-tile indirection.
+        self._apply = None
+        if getattr(self._callback, "generated_trampoline", False):
+            self._apply = getattr(functor, "apply", None)
+        tile = space.choose_tile(policy, functor)
+        ntiles = total_tiles(policy.extents, tile)
+        self._distribution = (ntiles, tiles_per_cpe(ntiles, space.num_cpes))
+        halo = max(0, int(getattr(functor, "stencil_halo", 0)))
+        _, bpp = functor_cost(functor)
+        bpp_in = float(getattr(functor, "bytes_in_per_point", bpp * 2.0 / 3.0))
+        bpp_out = float(getattr(functor, "bytes_out_per_point", bpp / 3.0))
+        self._tile_slices = []
+        get_total = put_total = 0.0
+        peaks = {}
+        for tidx, slices in enumerate(iter_tiles(policy.ranges, tile)):
+            cpe = tidx % space.num_cpes
+            staged = haloed_tile_points([s.stop - s.start for s in slices], halo)
+            working = int(staged * bpp)
+            buffers = 2 if space.double_buffer else 1
+            if working * buffers > space.ldm[cpe].capacity:
+                raise LDMError(
+                    f"tile of {tile_volume(slices)} points needs {working} B "
+                    f"x {buffers} buffers which exceeds the "
+                    f"{space.ldm[cpe].capacity} B LDM of CPE {cpe}; "
+                    "use a smaller MDRangePolicy tile"
+                )
+            self._tile_slices.append(tuple(slices))
+            get_total += staged * bpp_in
+            put_total += tile_volume(slices) * bpp_out
+            if working > peaks.get(cpe, 0):
+                peaks[cpe] = working
+        self._get_total = get_total
+        self._put_total = put_total
+        self._ldm_peaks = [(space.ldm[cpe], w) for cpe, w in peaks.items()]
+
+    def run(self) -> None:
+        functor = self.functor
+        apply = self._apply
+        callback = self._callback
+        if apply is not None:
+            for slices in self._tile_slices:
+                apply(slices)
+        elif callback is not None:
+            for slices in self._tile_slices:
+                callback(functor, slices)
+        else:
+            for slices in self._tile_slices:
+                apply_tile(functor, slices)
+        space = self.space
+        ntiles = self._distribution[0]
+        space.dma.get_batch(self._get_total, ntiles)
+        space.dma.put_batch(self._put_total, ntiles)
+        for ldm, peak in self._ldm_peaks:
+            ldm.record_peak(peak)
+        space.last_distribution = self._distribution
+        self._record(tiles=ntiles)
 
 
 class AthreadBackend(ExecutionSpace):
@@ -182,6 +271,11 @@ class AthreadBackend(ExecutionSpace):
             finally:
                 self.ldm[cpe].free("tile")
         self._record(label, policy, functor, tiles=ntiles)
+
+    def prepare_plan(self, label: str, policy, functor) -> LaunchPlan:
+        if type(self).run_for is not AthreadBackend.run_for:
+            return super().prepare_plan(label, policy, functor)
+        return _AthreadPlan(self, label, as_md(policy), functor)
 
     def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
         check_host_views(functor, self.name)

@@ -117,12 +117,72 @@ class ExecutionSpace:
         """Execute ``functor`` over ``policy`` (normalised)."""
         self.run_for(label, as_md(policy), functor)
 
+    # -- cached launch plans (graph replay) --------------------------------
+
+    def prepare_plan(self, label: str, policy, functor) -> "LaunchPlan":
+        """Front-load a launch's dispatch work into a replayable plan.
+
+        A :class:`LaunchPlan` bakes in everything ``parallel_for`` would
+        redo on every call — policy normalisation, memory-space checks,
+        tiling, registry lookup — so :meth:`run_plan` is near-zero
+        dispatch.  Backends override this with their own plan type; the
+        base implementation falls back to eager ``run_for`` per replay,
+        so any custom backend stays graph-compatible.
+        """
+        return _GenericPlan(self, label, as_md(policy), functor)
+
+    def run_plan(self, plan: "LaunchPlan") -> None:
+        """Execute a plan produced by :meth:`prepare_plan`."""
+        plan.run()
+
     def parallel_reduce(self, label: str, policy, functor, reducer: Reducer = Sum):
         """Reduce ``functor`` contributions over ``policy``."""
         return self.run_reduce(label, as_md(policy), functor, reducer)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(concurrency={self.concurrency})"
+
+
+class LaunchPlan:
+    """One launch with its dispatch work done once, ready for replay.
+
+    Plans hold the bound functor *instance*; rebindable views
+    (:meth:`View.rebind`) let the same plan see advancing data, which is
+    what makes replay survive the leapfrog rotation.
+    """
+
+    __slots__ = ("space", "label", "policy", "functor",
+                 "_points", "_flops", "_bytes")
+
+    def __init__(self, space: ExecutionSpace, label: str,
+                 policy: MDRangePolicy, functor) -> None:
+        self.space = space
+        self.label = label
+        self.policy = policy
+        self.functor = functor
+        self._points = policy.size
+        self._flops, self._bytes = functor_cost(functor)
+
+    def _record(self, tiles: int) -> None:
+        self.space.inst.record_launch(
+            self.label,
+            points=self._points,
+            tiles=tiles,
+            flops_per_point=self._flops,
+            bytes_per_point=self._bytes,
+        )
+
+    def run(self) -> None:
+        raise NotImplementedError
+
+
+class _GenericPlan(LaunchPlan):
+    """Fallback plan: eager dispatch on every replay."""
+
+    __slots__ = ()
+
+    def run(self) -> None:
+        self.space.run_for(self.label, self.policy, self.functor)
 
 
 def apply_tile(functor, slices: Sequence[slice]) -> None:

@@ -29,16 +29,40 @@ from typing import Optional
 
 from ...errors import BackendError
 from ..instrument import Instrumentation
-from ..policy import MDRangePolicy
+from ..policy import MDRangePolicy, as_md
 from ..spaces import DeviceSpace
 from ..view import kernel_context
 from .base import (
     ExecutionSpace,
+    LaunchPlan,
     Reducer,
     apply_tile,
     functor_views,
     reduce_tile,
 )
+
+
+class _DevicePlan(LaunchPlan):
+    """Memory-space proof and block geometry precomputed.
+
+    Replay still counts a kernel launch and executes inside a
+    ``kernel_context`` — the simulated device semantics (and the
+    per-launch cost the perfmodel charges) are identical to eager.
+    """
+
+    __slots__ = ("_slices", "_blocks")
+
+    def __init__(self, space, label, policy, functor) -> None:
+        super().__init__(space, label, policy, functor)
+        space._check_device_views(functor)
+        self._slices = space._full_slices(policy)
+        self._blocks = max(1, -(-policy.size // space.threads_per_block))
+
+    def run(self) -> None:
+        self.space.kernel_launches += 1
+        with kernel_context():
+            apply_tile(self.functor, self._slices)
+        self._record(tiles=self._blocks)
 
 
 class DeviceBackend(ExecutionSpace):
@@ -84,6 +108,11 @@ class DeviceBackend(ExecutionSpace):
             apply_tile(functor, self._full_slices(policy))
         blocks = -(-policy.size // self.threads_per_block)
         self._record(label, policy, functor, tiles=max(1, blocks))
+
+    def prepare_plan(self, label: str, policy, functor) -> LaunchPlan:
+        if type(self).run_for is not DeviceBackend.run_for:
+            return super().prepare_plan(label, policy, functor)
+        return _DevicePlan(self, label, as_md(policy), functor)
 
     def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
         self._check_device_views(functor)

@@ -17,9 +17,10 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import List, Optional, Tuple
 
 from ..instrument import Instrumentation
-from ..policy import MDRangePolicy
+from ..policy import MDRangePolicy, as_md
 from .base import (
     ExecutionSpace,
+    LaunchPlan,
     Reducer,
     apply_tile,
     check_host_views,
@@ -28,7 +29,48 @@ from .base import (
 
 
 def _default_threads() -> int:
+    """Thread count when the constructor is not given one.
+
+    Defaults to ``min(8, cpu_count)`` — enough to demonstrate scaling
+    without oversubscribing CI runners.  The ``REPRO_NUM_THREADS``
+    environment variable overrides the default (and its 8-thread cap)
+    with any validated value >= 1, mirroring ``OMP_NUM_THREADS``.
+    """
+    env = os.environ.get("REPRO_NUM_THREADS")
+    if env is not None and env.strip():
+        try:
+            n = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_NUM_THREADS must be an integer >= 1, got {env!r}"
+            ) from None
+        if n < 1:
+            raise ValueError(f"REPRO_NUM_THREADS must be >= 1, got {n}")
+        return n
     return max(1, min(8, os.cpu_count() or 1))
+
+
+class _OpenMPPlan(LaunchPlan):
+    """Chunk list precomputed; replay only submits and joins."""
+
+    __slots__ = ("_chunk_slices",)
+
+    def __init__(self, space, label, policy, functor) -> None:
+        super().__init__(space, label, policy, functor)
+        check_host_views(functor, space.name)
+        self._chunk_slices = space._chunks(policy)
+
+    def run(self) -> None:
+        chunks = self._chunk_slices
+        if len(chunks) == 1:
+            apply_tile(self.functor, chunks[0])
+        else:
+            pool = self.space._executor()
+            futures = [pool.submit(apply_tile, self.functor, ch)
+                       for ch in chunks]
+            for f in futures:
+                f.result()
+        self._record(tiles=len(chunks))
 
 
 class OpenMPBackend(ExecutionSpace):
@@ -84,6 +126,11 @@ class OpenMPBackend(ExecutionSpace):
             for f in futures:
                 f.result()
         self._record(label, policy, functor, tiles=len(chunks))
+
+    def prepare_plan(self, label: str, policy, functor) -> LaunchPlan:
+        if type(self).run_for is not OpenMPBackend.run_for:
+            return super().prepare_plan(label, policy, functor)
+        return _OpenMPPlan(self, label, as_md(policy), functor)
 
     def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
         check_host_views(functor, self.name)

@@ -8,14 +8,34 @@ anchors correctness across devices.
 
 from __future__ import annotations
 
-from ..policy import MDRangePolicy
+from ..policy import MDRangePolicy, as_md
 from .base import (
     ExecutionSpace,
+    LaunchPlan,
     Reducer,
     apply_tile,
     check_host_views,
     reduce_tile,
 )
+
+
+class _SerialPlan(LaunchPlan):
+    """Whole-range tile with slices and checks precomputed."""
+
+    __slots__ = ("_slices", "_apply")
+
+    def __init__(self, space, label, policy, functor) -> None:
+        super().__init__(space, label, policy, functor)
+        check_host_views(functor, space.name)
+        self._slices = space._full_slices(policy)
+        self._apply = getattr(functor, "apply", None)
+
+    def run(self) -> None:
+        if self._apply is not None:
+            self._apply(self._slices)
+        else:
+            apply_tile(self.functor, self._slices)
+        self._record(tiles=1)
 
 
 class SerialBackend(ExecutionSpace):
@@ -29,6 +49,14 @@ class SerialBackend(ExecutionSpace):
         check_host_views(functor, self.name)
         apply_tile(functor, self._full_slices(policy))
         self._record(label, policy, functor, tiles=1)
+
+    def prepare_plan(self, label: str, policy, functor) -> LaunchPlan:
+        # Subclasses that intercept run_for (e.g. differential-testing
+        # wrappers) must keep seeing every launch, so only the unmodified
+        # backend takes the fast path.
+        if type(self).run_for is not SerialBackend.run_for:
+            return super().prepare_plan(label, policy, functor)
+        return _SerialPlan(self, label, as_md(policy), functor)
 
     def run_reduce(self, label: str, policy: MDRangePolicy, functor, reducer: Reducer):
         check_host_views(functor, self.name)

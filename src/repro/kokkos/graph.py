@@ -1,0 +1,204 @@
+"""``LaunchGraph``: step-graph capture & replay with elementwise fusion.
+
+The Kokkos-Graphs / CUDA-Graphs idiom, applied to the Python dispatch
+path: the model records one baroclinic step's launch sequence — labels,
+normalised policies and *bound functor instances* — then subsequent
+steps ``replay()`` through per-backend :class:`~.backends.base.LaunchPlan`
+objects with near-zero dispatch work.  Host-side glue between launches
+(halo exchanges, fences, `.raw` copies) is captured as :class:`HostNode`
+closures and replayed in sequence, so the graph reproduces the eager
+step exactly.
+
+Two mechanisms keep replay valid across steps:
+
+* **Rebindable view slots** — leapfrog old/cur/new rotation swaps the
+  buffers *beneath* stable ``View`` objects (``View.rebind``), so the
+  functor instances captured once keep seeing the advancing time
+  levels.  Rotation therefore never forces a re-capture.
+* **Signature invalidation** — the owner stores a binding signature
+  (view identities + numeric parameters baked into functor instances)
+  on the sealed graph; when it no longer matches, the model drops the
+  graph and re-captures.
+
+On top of the recording, :meth:`LaunchGraph.seal` runs an *elementwise
+fusion* pass: maximal runs of adjacent ``parallel_for`` launches with
+identical iteration ranges, zero ``stencil_halo`` and no intervening
+host node are merged into a single :class:`FusedTileFunctor` sweep.
+Point-local bodies over the same range commute with tiling, so the
+fused launch is bitwise identical to the sequence under any backend —
+while paying one launch (one spawn/join on the CPEs, one kernel launch
+on the GPU) instead of N.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .backends.base import ExecutionSpace, apply_tile
+from .functor import kokkos_register_for
+from .policy import MDRangePolicy, as_md
+
+
+@kokkos_register_for("fused_elementwise", ndim=3)
+class FusedTileFunctor:
+    """N adjacent elementwise launches executed as one tile sweep.
+
+    Each part runs over the same slices in capture order, so within any
+    tile the arithmetic sequence is exactly the eager one; because every
+    part is point-local (``stencil_halo == 0``), no part reads what a
+    previous part wrote outside the current tile, and the fusion is
+    bitwise safe under any tiling.
+
+    Cost metadata is the sum of the parts' declarations, so the
+    instrumentation and the Athread LDM sizing stay honest.
+    """
+
+    #: Composite body: kernelcheck analyses the parts individually.
+    __kernelcheck_skip__ = True
+    stencil_halo = 0
+
+    def __init__(self, parts: Sequence, labels: Sequence[str]) -> None:
+        self.parts = list(parts)
+        self.labels = list(labels)
+        self.flops_per_point = sum(
+            float(getattr(p, "flops_per_point", 0.0)) for p in parts)
+        self.bytes_per_point = sum(
+            float(getattr(p, "bytes_per_point", 8.0)) for p in parts)
+        self.bytes_in_per_point = sum(
+            float(getattr(p, "bytes_in_per_point",
+                          getattr(p, "bytes_per_point", 8.0) * 2.0 / 3.0))
+            for p in parts)
+        self.bytes_out_per_point = sum(
+            float(getattr(p, "bytes_out_per_point",
+                          getattr(p, "bytes_per_point", 8.0) / 3.0))
+            for p in parts)
+
+    def __call__(self, *idx: int) -> None:
+        for p in self.parts:
+            p(*idx)
+
+    def apply(self, slices: Tuple[slice, ...]) -> None:
+        for p in self.parts:
+            apply_tile(p, slices)
+
+
+class KernelNode:
+    """One recorded ``parallel_for`` (label, policy, bound functor)."""
+
+    __slots__ = ("label", "policy", "functor", "plan")
+
+    def __init__(self, label: str, policy: MDRangePolicy, functor) -> None:
+        self.label = label
+        self.policy = policy
+        self.functor = functor
+        self.plan = None
+
+    def fusible(self) -> bool:
+        return (self.policy.tile is None
+                and int(getattr(self.functor, "stencil_halo", 0)) == 0)
+
+
+class HostNode:
+    """Host-side glue replayed verbatim between launches."""
+
+    __slots__ = ("fn", "label")
+
+    def __init__(self, fn: Callable[[], None], label: str = "host") -> None:
+        self.fn = fn
+        self.label = label
+
+
+class LaunchGraph:
+    """A captured launch sequence, sealable into a replayable plan list."""
+
+    def __init__(self, space: ExecutionSpace, fuse: bool = True) -> None:
+        self.space = space
+        self.fuse = fuse
+        self.nodes: List[object] = []
+        self.sealed = False
+        #: Binding signature the owner compares to decide re-capture.
+        self.signature: Optional[tuple] = None
+        self.replays = 0
+        self.captured_launches = 0
+        self.fused_groups = 0
+
+    # -- capture -----------------------------------------------------------
+
+    def add_kernel(self, label: str, policy, functor) -> None:
+        if self.sealed:
+            raise RuntimeError("cannot record into a sealed LaunchGraph")
+        self.nodes.append(KernelNode(label, as_md(policy), functor))
+        self.captured_launches += 1
+
+    def add_host(self, fn: Callable[[], None], label: str = "host") -> None:
+        if self.sealed:
+            raise RuntimeError("cannot record into a sealed LaunchGraph")
+        self.nodes.append(HostNode(fn, label))
+
+    # -- fusion ------------------------------------------------------------
+
+    def _fuse_nodes(self, nodes: List[object]) -> List[object]:
+        out: List[object] = []
+        group: List[KernelNode] = []
+
+        def flush() -> None:
+            if len(group) >= 2:
+                label = "fused[" + "+".join(n.label for n in group) + "]"
+                functor = FusedTileFunctor([n.functor for n in group],
+                                           [n.label for n in group])
+                out.append(KernelNode(label, group[0].policy, functor))
+                self.fused_groups += 1
+            else:
+                out.extend(group)
+            group.clear()
+
+        for node in nodes:
+            if isinstance(node, KernelNode) and node.fusible():
+                if group and node.policy.ranges != group[0].policy.ranges:
+                    flush()
+                group.append(node)
+            else:
+                flush()
+                out.append(node)
+        flush()
+        return out
+
+    # -- seal / replay -----------------------------------------------------
+
+    def seal(self) -> "LaunchGraph":
+        """Fuse compatible launches and prepare per-backend plans."""
+        if self.sealed:
+            return self
+        if self.fuse:
+            self.nodes = self._fuse_nodes(self.nodes)
+        for node in self.nodes:
+            if isinstance(node, KernelNode):
+                node.plan = self.space.prepare_plan(
+                    node.label, node.policy, node.functor)
+        self.sealed = True
+        return self
+
+    def replay(self) -> None:
+        """Re-execute the captured step through the cached plans."""
+        if not self.sealed:
+            raise RuntimeError("seal() the LaunchGraph before replay()")
+        run_plan = self.space.run_plan
+        for node in self.nodes:
+            if isinstance(node, KernelNode):
+                run_plan(node.plan)
+            else:
+                node.fn()
+        self.replays += 1
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def launches_per_replay(self) -> int:
+        """Kernel launches one replay issues (after fusion)."""
+        return sum(1 for n in self.nodes if isinstance(n, KernelNode))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hosts = sum(1 for n in self.nodes if isinstance(n, HostNode))
+        return (f"LaunchGraph(launches={self.launches_per_replay}, "
+                f"hosts={hosts}, captured={self.captured_launches}, "
+                f"fused_groups={self.fused_groups}, sealed={self.sealed})")

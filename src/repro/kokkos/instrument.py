@@ -15,6 +15,7 @@ times on the paper's four systems.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -61,12 +62,38 @@ class TransferLedger:
 
 
 @dataclass
+class WorkspaceStats:
+    """Scratch-arena traffic: requests served vs arrays actually allocated.
+
+    A warm arena serves every request from its pool (``allocations``
+    stays flat while ``requests`` grows); a disabled arena allocates on
+    every request.  The ratio is the measurable allocation win of the
+    ``out=``-rewritten apply bodies.
+    """
+
+    requests: int = 0
+    allocations: int = 0
+    bytes_served: float = 0.0
+    bytes_allocated: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without allocating."""
+        if not self.requests:
+            return 0.0
+        return 1.0 - self.allocations / self.requests
+
+
+@dataclass
 class Instrumentation:
     """A container of kernel statistics and the transfer ledger."""
 
     kernels: Dict[str, KernelStats] = field(default_factory=dict)
     transfers: TransferLedger = field(default_factory=TransferLedger)
+    workspace: WorkspaceStats = field(default_factory=WorkspaceStats)
     enabled: bool = True
+    _ws_lock: threading.Lock = field(default_factory=threading.Lock,
+                                     repr=False, compare=False)
 
     def kernel(self, label: str) -> KernelStats:
         """Get (creating if needed) the stats record for ``label``."""
@@ -94,6 +121,18 @@ class Instrumentation:
         stats.flops += flops_per_point * points
         stats.bytes += bytes_per_point * points
 
+    def record_workspace_take(self, nbytes: float, allocated: bool) -> None:
+        """Record one scratch-arena request (thread-safe: OpenMP tiles)."""
+        if not self.enabled:
+            return
+        with self._ws_lock:
+            ws = self.workspace
+            ws.requests += 1
+            ws.bytes_served += nbytes
+            if allocated:
+                ws.allocations += 1
+                ws.bytes_allocated += nbytes
+
     @property
     def total_flops(self) -> float:
         return sum(k.flops for k in self.kernels.values())
@@ -107,9 +146,10 @@ class Instrumentation:
         return sum(k.launches for k in self.kernels.values())
 
     def reset(self) -> None:
-        """Clear all statistics (the ledger included)."""
+        """Clear all statistics (the ledger and arena counters included)."""
         self.kernels.clear()
         self.transfers = TransferLedger()
+        self.workspace = WorkspaceStats()
 
     def report(self) -> str:
         """Render a text table of all kernels sorted by byte traffic."""

@@ -54,6 +54,19 @@ class LDMAllocator:
         self.used += nbytes
         self.high_water = max(self.high_water, self.used)
 
+    def record_peak(self, nbytes: int) -> None:
+        """Raise ``high_water`` as if ``nbytes`` were live right now.
+
+        Sealed launch plans prove at seal time that every tile fits and
+        that alloc/free strictly bracket each tile, so a replay can
+        record the launch's peak occupancy in one call instead of
+        churning the allocator per tile; ``high_water`` ends identical
+        to the eager path.
+        """
+        peak = self.used + nbytes
+        if peak > self.high_water:
+            self.high_water = peak
+
     def free(self, name: str) -> None:
         nbytes = self.allocations.pop(name, None)
         if nbytes is None:
@@ -93,6 +106,21 @@ class DMAEngine:
         """Record an LDM -> main-memory transfer."""
         self.put_bytes += nbytes
         self.put_count += 1
+
+    def get_batch(self, total_bytes: float, count: int) -> None:
+        """Record ``count`` gets totalling ``total_bytes`` in one call.
+
+        Sealed launch plans pre-sum their per-tile staging sizes so a
+        replay updates the ledger once per launch instead of once per
+        tile; the end-of-step totals match the eager path.
+        """
+        self.get_bytes += total_bytes
+        self.get_count += count
+
+    def put_batch(self, total_bytes: float, count: int) -> None:
+        """Record ``count`` puts totalling ``total_bytes`` in one call."""
+        self.put_bytes += total_bytes
+        self.put_count += count
 
     @property
     def total_bytes(self) -> float:

@@ -117,8 +117,19 @@ def parallel_scan(label: str, n: int, functor, space: Optional[ExecutionSpace] =
     The functor is called as ``functor(i, partial, final)`` like Kokkos:
     first a non-final sweep accumulating contributions, then a final
     sweep where the running prefix is handed back.  Returns the total.
+
+    Like every other entry point, scans enforce the memory-space access
+    discipline (host backends refuse device views), and an empty range
+    returns the identity without invoking the functor or recording a
+    launch.
     """
+    from .backends.base import check_host_views
+
     target = space if space is not None else default_space()
+    if target.memory_space.host_accessible:
+        check_host_views(functor, target.name)
+    if n <= 0:
+        return 0.0
     total = 0.0
     for final in (False, True):
         acc = 0.0

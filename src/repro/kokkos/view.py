@@ -80,7 +80,7 @@ class View:
         order matches the layout, otherwise copied).
     """
 
-    __slots__ = ("label", "space", "layout", "_array")
+    __slots__ = ("label", "space", "layout", "_array", "_host_ok")
 
     def __init__(
         self,
@@ -94,6 +94,10 @@ class View:
         self.label = label
         self.space = space
         self.layout = layout
+        # memory space is fixed for the view's lifetime, so the access
+        # policing in ``data`` can branch on one cached bool (the hot
+        # apply bodies read ``.data`` tens of thousands of times a step)
+        self._host_ok = space.host_accessible
         if data is not None:
             arr = np.asarray(data, dtype=dtype if dtype is not None else None)
             order = layout.numpy_order
@@ -151,6 +155,8 @@ class View:
         Access is policed by memory space: device views raise
         :class:`MemorySpaceError` outside kernel execution.
         """
+        if self._host_ok:
+            return self._array
         self._check_access()
         return self._array
 
@@ -158,6 +164,23 @@ class View:
     def raw(self) -> np.ndarray:
         """Unpoliced buffer access, for backends and deep_copy only."""
         return self._array
+
+    def rebind(self, array: np.ndarray) -> None:
+        """Point this view at a different buffer of identical geometry.
+
+        This is the "rebindable view slot" that lets a captured
+        :class:`~repro.kokkos.graph.LaunchGraph` survive leapfrog
+        old/cur/new rotation: the functors bound at capture time keep
+        referencing the *same* ``View`` objects while the rotation swaps
+        the underlying arrays beneath them, so no re-capture is needed.
+        """
+        if array.shape != self._array.shape or array.dtype != self._array.dtype:
+            raise ValueError(
+                f"View {self.label!r}: rebind requires identical geometry, "
+                f"got {array.shape}/{array.dtype} for "
+                f"{self._array.shape}/{self._array.dtype}"
+            )
+        self._array = array
 
     def __getitem__(self, idx):
         self._check_access()
@@ -259,6 +282,7 @@ def subview(view: View, *slices) -> View:
     out.label = f"{view.label}_sub"
     out.space = view.space
     out.layout = view.layout
+    out._host_ok = view.space.host_accessible
     out._array = view.raw[slices if len(slices) != 1 else slices[0]]
     return out
 

@@ -1,0 +1,116 @@
+"""``Workspace``: a keyed scratch-array arena for kernel apply bodies.
+
+The vectorised ``apply`` bodies of the hottest kernels (tracer fluxes,
+FCT limiter, baroclinic tendency, vertical solves) historically built
+dozens of NumPy temporaries per tile, so small-grid throughput was
+allocator-bound rather than bandwidth-bound — the Python analogue of
+the per-launch spawn/join overhead the paper's registry redesign kills
+on the CPEs (§V-B).  A :class:`Workspace` hands out *preallocated*
+scratch arrays keyed by ``(key, shape, dtype)``; after the first step
+every ``take`` is a dictionary hit and the apply bodies run with zero
+steady-state allocations.
+
+Contract
+--------
+* The returned buffer's contents are **undefined** (like ``np.empty``)
+  unless ``fill=`` is given; callers must fully overwrite it, typically
+  through ``out=``-style ufunc calls.
+* Buffers are only valid until the next ``take`` with the same key —
+  within one apply body use distinct keys for live temporaries.
+* Pools are **thread-local**, so concurrent tiles of the same functor on
+  the OpenMP backend never share a buffer.
+
+Every ``take`` is counted in :class:`~.instrument.Instrumentation`
+(``requests`` vs actual ``allocations``), which is how the benchmark
+and the allocation-regression test measure the win.  A disabled
+workspace (``enabled=False``) allocates fresh on every request — the
+eager-allocation baseline with identical numerics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from .instrument import Instrumentation, get_instrumentation
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+class _ThreadPools(threading.local):
+    """Per-thread pool dict, created on first touch from each thread."""
+
+    def __init__(self) -> None:
+        self.pool: Dict[tuple, np.ndarray] = {}
+
+
+class Workspace:
+    """Arena of reusable scratch arrays keyed by ``(key, shape, dtype)``."""
+
+    def __init__(self, enabled: bool = True,
+                 inst: Optional[Instrumentation] = None) -> None:
+        self.enabled = enabled
+        self.inst = get_instrumentation(inst)
+        self._tls = _ThreadPools()
+
+    def _pool(self) -> Dict[tuple, np.ndarray]:
+        return self._tls.pool
+
+    def take(self, key: str, shape: ShapeLike, dtype=np.float64,
+             fill=None) -> np.ndarray:
+        """Return a scratch array for ``key`` with the requested geometry.
+
+        The same ``(key, shape, dtype)`` on the same thread returns the
+        same buffer every time once the arena is warm.  The warm path is
+        deliberately skinny — tiled backends issue tens of thousands of
+        takes per step, so it keys on the caller's ``shape``/``dtype``
+        objects verbatim (each call site passes a consistent form) and
+        bumps the request counters without taking the stats lock; only
+        the rare allocation goes through the locked recorder, so the
+        ``allocations`` counter the tests pin stays exact.
+        """
+        if type(shape) is not tuple:
+            shape = (int(shape),) if isinstance(shape, (int, np.integer)) \
+                else tuple(shape)
+        if not self.enabled:
+            arr = np.empty(shape, np.dtype(dtype))
+            self.inst.record_workspace_take(arr.nbytes, allocated=True)
+        else:
+            pool = self._tls.pool
+            arr = pool.get((key, shape, dtype))
+            if arr is None:
+                arr = pool[(key, shape, dtype)] = np.empty(shape,
+                                                           np.dtype(dtype))
+                self.inst.record_workspace_take(arr.nbytes, allocated=True)
+            else:
+                inst = self.inst
+                if inst.enabled:
+                    ws = inst.workspace
+                    ws.requests += 1
+                    ws.bytes_served += arr.nbytes
+        if fill is not None:
+            arr[...] = fill
+        return arr
+
+    def clear(self) -> None:
+        """Drop this thread's pooled buffers (tests / memory pressure)."""
+        self._tls.pool = {}
+
+
+_NULL_WORKSPACE: Optional[Workspace] = None
+
+
+def null_workspace() -> Workspace:
+    """Process-wide disabled workspace: the eager-allocation fallback.
+
+    Kernels reach their workspace through ``LocalDomain.scratch()``;
+    when no model wired an arena in, this singleton keeps the rewritten
+    ``out=`` bodies working with per-call allocations (bitwise identical
+    numerics, counted against the global instrumentation).
+    """
+    global _NULL_WORKSPACE
+    if _NULL_WORKSPACE is None:
+        _NULL_WORKSPACE = Workspace(enabled=False)
+    return _NULL_WORKSPACE

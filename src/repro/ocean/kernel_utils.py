@@ -91,25 +91,54 @@ def t_at_u(t: np.ndarray, sk: slice, sj: slice, si: slice) -> np.ndarray:
 
 
 def thomas_solve(
-    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray,
+    ws=None, key: str = "thomas",
 ) -> np.ndarray:
     """Vectorised Thomas tridiagonal solve along axis 0.
 
     All inputs are ``(nz, ...)``; ``lower[0]`` and ``upper[-1]`` are
     ignored.  Column-parallel over the trailing axes, which is exactly
     how the implicit vertical solves parallelise on every backend.
+
+    With a :class:`~repro.kokkos.workspace.Workspace` passed as ``ws``,
+    the sweep arrays and per-level temporaries come from the arena under
+    ``key`` and the elimination runs through ``out=`` ufunc calls — the
+    same operations in the same order, so the solution is bitwise
+    identical to the allocating path.
     """
     nz = diag.shape[0]
-    cp = np.empty_like(diag)
-    dp = np.empty_like(rhs)
-    cp[0] = upper[0] / diag[0]
-    dp[0] = rhs[0] / diag[0]
+    if ws is None:
+        cp = np.empty_like(diag)
+        dp = np.empty_like(rhs)
+        x = np.empty_like(rhs)
+        cp[0] = upper[0] / diag[0]
+        dp[0] = rhs[0] / diag[0]
+        for k in range(1, nz):
+            denom = diag[k] - lower[k] * cp[k - 1]
+            cp[k] = upper[k] / denom
+            dp[k] = (rhs[k] - lower[k] * dp[k - 1]) / denom
+        x[-1] = dp[-1]
+        for k in range(nz - 2, -1, -1):
+            x[k] = dp[k] - cp[k] * x[k + 1]
+        return x
+    cp = ws.take(f"{key}_cp", diag.shape, diag.dtype)
+    dp = ws.take(f"{key}_dp", rhs.shape, rhs.dtype)
+    x = ws.take(f"{key}_x", rhs.shape, rhs.dtype)
+    lvl = np.result_type(lower.dtype, diag.dtype, rhs.dtype)
+    num = ws.take(f"{key}_num", diag.shape[1:], lvl)
+    den = ws.take(f"{key}_den", diag.shape[1:], lvl)
+    tmp = ws.take(f"{key}_tmp", diag.shape[1:], lvl)
+    np.divide(upper[0], diag[0], out=cp[0])
+    np.divide(rhs[0], diag[0], out=dp[0])
     for k in range(1, nz):
-        denom = diag[k] - lower[k] * cp[k - 1]
-        cp[k] = upper[k] / denom
-        dp[k] = (rhs[k] - lower[k] * dp[k - 1]) / denom
-    x = np.empty_like(rhs)
+        np.multiply(lower[k], cp[k - 1], out=num)
+        np.subtract(diag[k], num, out=den)
+        np.divide(upper[k], den, out=cp[k])
+        np.multiply(lower[k], dp[k - 1], out=num)
+        np.subtract(rhs[k], num, out=tmp)
+        np.divide(tmp, den, out=dp[k])
     x[-1] = dp[-1]
     for k in range(nz - 2, -1, -1):
-        x[k] = dp[k] - cp[k] * x[k + 1]
+        np.multiply(cp[k], x[k + 1], out=num)
+        np.subtract(dp[k], num, out=x[k])
     return x

@@ -63,15 +63,26 @@ class BarotropicContinuityFunctor(TileFunctor):
         vb = self.vb.data
         hu = self.hu
         dy = d.dy
-        # volume transports at corners
-        tu = ub * hu
-        tv = vb * hu
-        fe = 0.5 * (tu[sj, si] + tu[sh(sj, -1), si]) * dy
-        fw = 0.5 * (tu[sj, sh(si, -1)] + tu[sh(sj, -1), sh(si, -1)]) * dy
+        # volume transports at corners, on the tile plus its south/west
+        # ring only (the four face averages below read offsets 0 and -1)
+        ws = d.scratch()
+        nj = sj.stop - sj.start
+        ni = si.stop - si.start
+        gj = slice(sj.start - 1, sj.stop)
+        gi = slice(si.start - 1, si.stop)
+        tdt = np.result_type(ub.dtype, hu.dtype)
+        tu = ws.take("bc_tu", (nj + 1, ni + 1), tdt)
+        np.multiply(ub[gj, gi], hu[gj, gi], out=tu)
+        tv = ws.take("bc_tv", (nj + 1, ni + 1), tdt)
+        np.multiply(vb[gj, gi], hu[gj, gi], out=tv)
+        lj, ljm = slice(1, nj + 1), slice(0, nj)
+        li, lim = slice(1, ni + 1), slice(0, ni)
+        fe = 0.5 * (tu[lj, li] + tu[ljm, li]) * dy
+        fw = 0.5 * (tu[lj, lim] + tu[ljm, lim]) * dy
         dxu_n = d.dx_u[sj].reshape(-1, 1)
         dxu_s = d.dx_u[sh(sj, -1)].reshape(-1, 1)
-        fn = 0.5 * (tv[sj, si] + tv[sj, sh(si, -1)]) * dxu_n
-        fs = 0.5 * (tv[sh(sj, -1), si] + tv[sh(sj, -1), sh(si, -1)]) * dxu_s
+        fn = 0.5 * (tv[lj, li] + tv[lj, lim]) * dxu_n
+        fs = 0.5 * (tv[ljm, li] + tv[ljm, lim]) * dxu_s
         area = (d.dx_t[sj] * dy).reshape(-1, 1)
         m = d.mask_t[0, sj, si]
         tend = -(fe - fw + fn - fs) / area
@@ -129,8 +140,9 @@ class BarotropicMomentumFunctor(TileFunctor):
             (eta[sh(sj, 1), si] - eta[sj, si])
             + (eta[sh(sj, 1), sh(si, 1)] - eta[sj, sh(si, 1)])
         ) / d.dy
-        th = (d.f_u[sj] * self.dtb).reshape(-1, 1)
-        c, s = np.cos(th), np.sin(th)
+        cf, sf = d.coriolis_rotation(self.dtb)
+        c = cf[sj].reshape(-1, 1)
+        s = sf[sj].reshape(-1, 1)
         u = self.ub.data[sj, si]
         v = self.vb.data[sj, si]
         ur = u * c + v * s

@@ -30,14 +30,7 @@ from typing import Tuple
 import numpy as np
 
 from ..kokkos import View, kokkos_register_for
-from .kernel_utils import (
-    TileFunctor,
-    face_u_east,
-    face_u_west,
-    face_v_north,
-    face_v_south,
-    sh,
-)
+from .kernel_utils import TileFunctor, sh
 from .localdomain import LocalDomain
 
 _TINY = 1.0e-30
@@ -54,12 +47,79 @@ def _pad_k(arr: np.ndarray, lo: int = 1, hi: int = 1) -> np.ndarray:
     return np.concatenate(parts, axis=0)
 
 
+def _face_volumes(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray,
+    dom: LocalDomain, sj: slice, si: slice,
+):
+    """Arena-backed volume transports through the tile's face sets.
+
+    Returns ``(ue, vn, wt)`` in the arena's shared transport buffers.
+    Each step mirrors the historical eager expression op by op — the
+    mixed float32-field / float64-geometry promotion chain included —
+    so the results are bitwise identical to eager allocation.
+    """
+    nz = dom.nz
+    sk = slice(0, nz)
+    ws = dom.scratch()
+    dy = dom.dy
+    dz = dom.dz.reshape(-1, 1, 1)
+    nj = sj.stop - sj.start
+    ni = si.stop - si.start
+    vdt = u.dtype
+    tdt = np.result_type(vdt, dz.dtype)
+
+    sie = slice(si.start - 1, si.stop)
+    face = ws.take("adv_face_e", (nz, nj, ni + 1), vdt)
+    np.add(u[sk, sj, sie], u[sk, sh(sj, -1), sie], out=face)
+    np.multiply(face, 0.5, out=face)
+    np.multiply(face, dy, out=face)
+    ue = ws.take("adv_ue", (nz, nj, ni + 1), tdt)
+    np.multiply(face, dz, out=ue)
+
+    sjn = slice(sj.start - 1, sj.stop)
+    dxu = dom.dx_u[sjn].reshape(1, -1, 1)
+    face_n = ws.take("adv_face_n", (nz, nj + 1, ni), vdt)
+    np.add(v[sk, sjn, si], v[sk, sjn, sh(si, -1)], out=face_n)
+    np.multiply(face_n, 0.5, out=face_n)
+    vn = ws.take("adv_vn", (nz, nj + 1, ni), tdt)
+    np.multiply(face_n, dxu, out=vn)
+    np.multiply(vn, dz, out=vn)
+
+    area = (dom.dx_t[sj] * dy).reshape(1, -1, 1)
+    wt = ws.take("adv_wt", (nz + 1, nj, ni), tdt)
+    np.multiply(w[:, sj, si], area, out=wt)
+    return ue, vn, wt
+
+
+def _vertical_donors(
+    t: np.ndarray, dom: LocalDomain, sj: slice, si: slice,
+):
+    """(T_below, T_above) interface donor columns in arena buffers.
+
+    Bitwise equal to the historical ``np.concatenate`` construction:
+    ``T_below[k] = T[min(k, nz-1)]`` and ``T_above[k] = T[max(k-1, 0)]``.
+    """
+    nz = dom.nz
+    ws = dom.scratch()
+    nj = sj.stop - sj.start
+    ni = si.stop - si.start
+    tcol = t[:, sj, si]
+    t_below = ws.take("adv_tbelow", (nz + 1, nj, ni), t.dtype)
+    t_below[:nz] = tcol
+    t_below[nz] = tcol[-1]
+    t_above = ws.take("adv_tabove", (nz + 1, nj, ni), t.dtype)
+    t_above[0] = tcol[0]
+    t_above[1:] = tcol
+    return t_below, t_above
+
+
 def _upwind_fluxes(
     t: np.ndarray,          # tracer (nz, ly, lx), full array
     u: np.ndarray, v: np.ndarray,
     w: np.ndarray,          # (nz+1, ly, lx) interface velocity, positive up
     dom: LocalDomain,
     sj: slice, si: slice,
+    tag: str = "up",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Donor-cell fluxes for the faces of the cells in the (sj, si) tile.
 
@@ -68,31 +128,48 @@ def _upwind_fluxes(
     (so ``F_e[:, :, c]`` / ``F_e[:, :, c+1]`` are cell c's west/east faces);
     ``F_n`` (nz, nj+1, ni) likewise in j; ``F_t`` (nz+1, nj, ni) top-face
     fluxes, positive upward, ``F_t[nz] = 0`` at the sea floor.
+
+    The returned arrays live in arena buffers keyed by ``tag`` (so the
+    corrector can hold upwind and central fluxes simultaneously).
     """
     nz = dom.nz
     sk = slice(0, nz)
-    dy = dom.dy
-    dz = dom.dz.reshape(-1, 1, 1)
+    ws = dom.scratch()
+    ue, vn, wt = _face_volumes(u, v, w, dom, sj, si)
     # east faces of cells si.start-1 .. si.stop-1  <=> west+east of the tile
     sie = slice(si.start - 1, si.stop)
-    ue = face_u_east(u, sk, sj, sie) * dy * dz
     t_w = t[sk, sj, sie]
     t_e = t[sk, sj, sh(sie, 1)]
-    f_e = np.maximum(ue, 0.0) * t_w + np.minimum(ue, 0.0) * t_e
+    pos = ws.take("adv_pos", ue.shape, ue.dtype)
+    np.maximum(ue, 0.0, out=pos)
+    np.multiply(pos, t_w, out=pos)
+    neg = ws.take("adv_neg", ue.shape, ue.dtype)
+    np.minimum(ue, 0.0, out=neg)
+    np.multiply(neg, t_e, out=neg)
+    f_e = ws.take(f"{tag}_fe", ue.shape, ue.dtype)
+    np.add(pos, neg, out=f_e)
 
     sjn = slice(sj.start - 1, sj.stop)
-    dxu = dom.dx_u[sjn].reshape(1, -1, 1)
-    vn = face_v_north(v, sk, sjn, si) * dxu * dz
     t_s = t[sk, sjn, si]
     t_n = t[sk, sh(sjn, 1), si]
-    f_n = np.maximum(vn, 0.0) * t_s + np.minimum(vn, 0.0) * t_n
+    pos_n = ws.take("adv_pos_n", vn.shape, vn.dtype)
+    np.maximum(vn, 0.0, out=pos_n)
+    np.multiply(pos_n, t_s, out=pos_n)
+    neg_n = ws.take("adv_neg_n", vn.shape, vn.dtype)
+    np.minimum(vn, 0.0, out=neg_n)
+    np.multiply(neg_n, t_n, out=neg_n)
+    f_n = ws.take(f"{tag}_fn", vn.shape, vn.dtype)
+    np.add(pos_n, neg_n, out=f_n)
 
-    area = (dom.dx_t[sj] * dy).reshape(1, -1, 1)
-    wt = w[:, sj, si] * area                     # (nz+1, nj, ni), positive up
-    tcol = t[:, sj, si]
-    t_below = np.concatenate([tcol, tcol[-1:]], axis=0)   # donor when w > 0
-    t_above = np.concatenate([tcol[:1], tcol], axis=0)    # donor when w < 0
-    f_t = np.maximum(wt, 0.0) * t_below + np.minimum(wt, 0.0) * t_above
+    t_below, t_above = _vertical_donors(t, dom, sj, si)   # donors by w sign
+    pos_t = ws.take("adv_pos_t", wt.shape, wt.dtype)
+    np.maximum(wt, 0.0, out=pos_t)
+    np.multiply(pos_t, t_below, out=pos_t)
+    neg_t = ws.take("adv_neg_t", wt.shape, wt.dtype)
+    np.minimum(wt, 0.0, out=neg_t)
+    np.multiply(neg_t, t_above, out=neg_t)
+    f_t = ws.take(f"{tag}_ft", wt.shape, wt.dtype)
+    np.add(pos_t, neg_t, out=f_t)
     f_t[-1] = 0.0                                          # sea floor
     return f_e, f_n, f_t
 
@@ -100,44 +177,65 @@ def _upwind_fluxes(
 def _central_fluxes(
     t: np.ndarray, u: np.ndarray, v: np.ndarray, w: np.ndarray,
     dom: LocalDomain, sj: slice, si: slice,
+    tag: str = "ct",
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Second-order centered fluxes on the same face sets as above."""
     nz = dom.nz
     sk = slice(0, nz)
-    dy = dom.dy
-    dz = dom.dz.reshape(-1, 1, 1)
+    ws = dom.scratch()
+    ue, vn, wt = _face_volumes(u, v, w, dom, sj, si)
     sie = slice(si.start - 1, si.stop)
-    ue = face_u_east(u, sk, sj, sie) * dy * dz
-    f_e = ue * 0.5 * (t[sk, sj, sie] + t[sk, sj, sh(sie, 1)])
+    tsum = ws.take("adv_tsum", ue.shape, t.dtype)
+    np.add(t[sk, sj, sie], t[sk, sj, sh(sie, 1)], out=tsum)
+    np.multiply(ue, 0.5, out=ue)
+    f_e = ws.take(f"{tag}_fe", ue.shape, ue.dtype)
+    np.multiply(ue, tsum, out=f_e)
 
     sjn = slice(sj.start - 1, sj.stop)
-    dxu = dom.dx_u[sjn].reshape(1, -1, 1)
-    vn = face_v_north(v, sk, sjn, si) * dxu * dz
-    f_n = vn * 0.5 * (t[sk, sjn, si] + t[sk, sh(sjn, 1), si])
+    tsum_n = ws.take("adv_tsum_n", vn.shape, t.dtype)
+    np.add(t[sk, sjn, si], t[sk, sh(sjn, 1), si], out=tsum_n)
+    np.multiply(vn, 0.5, out=vn)
+    f_n = ws.take(f"{tag}_fn", vn.shape, vn.dtype)
+    np.multiply(vn, tsum_n, out=f_n)
 
-    area = (dom.dx_t[sj] * dy).reshape(1, -1, 1)
-    wt = w[:, sj, si] * area
-    tcol = t[:, sj, si]
-    t_below = np.concatenate([tcol, tcol[-1:]], axis=0)
-    t_above = np.concatenate([tcol[:1], tcol], axis=0)
-    f_t = wt * 0.5 * (t_below + t_above)
+    t_below, t_above = _vertical_donors(t, dom, sj, si)
+    tsum_t = ws.take("adv_tsum_t", wt.shape, t.dtype)
+    np.add(t_below, t_above, out=tsum_t)
+    np.multiply(wt, 0.5, out=wt)
+    f_t = ws.take(f"{tag}_ft", wt.shape, wt.dtype)
+    np.multiply(wt, tsum_t, out=f_t)
     f_t[-1] = 0.0
     return f_e, f_n, f_t
+
+
+def _tile_volume(dom: LocalDomain, sj: slice, si: slice) -> np.ndarray:
+    """(nz, nj, 1) cell volumes in the shared arena buffer."""
+    dz = dom.dz.reshape(-1, 1, 1)
+    area = (dom.dx_t[sj] * dom.dy).reshape(1, -1, 1)
+    ws = dom.scratch()
+    vol = ws.take("adv_vol", (dom.nz, sj.stop - sj.start, 1),
+                  np.result_type(area.dtype, dz.dtype))
+    np.multiply(area, dz, out=vol)
+    return vol
 
 
 def _apply_divergence(
     f_e: np.ndarray, f_n: np.ndarray, f_t: np.ndarray,
     dom: LocalDomain, sj: slice, si: slice, dt: float,
 ) -> np.ndarray:
-    """-dt/V * flux divergence for the tile's cells."""
-    dz = dom.dz.reshape(-1, 1, 1)
-    vol = (dom.dx_t[sj] * dom.dy).reshape(1, -1, 1) * dz
-    div = (
-        f_e[:, :, 1:] - f_e[:, :, :-1]
-        + f_n[:, 1:, :] - f_n[:, :-1, :]
-        + f_t[:-1] - f_t[1:]
-    )
-    return -dt * div / vol
+    """-dt/V * flux divergence for the tile's cells (arena buffer)."""
+    vol = _tile_volume(dom, sj, si)
+    ws = dom.scratch()
+    div = ws.take("adv_div", (f_e.shape[0], f_e.shape[1], f_e.shape[2] - 1),
+                  f_e.dtype)
+    np.subtract(f_e[:, :, 1:], f_e[:, :, :-1], out=div)
+    np.add(div, f_n[:, 1:, :], out=div)
+    np.subtract(div, f_n[:, :-1, :], out=div)
+    np.add(div, f_t[:-1], out=div)
+    np.subtract(div, f_t[1:], out=div)
+    np.multiply(div, -dt, out=div)
+    np.divide(div, vol, out=div)
+    return div
 
 
 @kokkos_register_for("advect_tracer_predictor", ndim=2)
@@ -175,7 +273,11 @@ class AdvectPredictorFunctor(TileFunctor):
         )
         m = d.mask_t[:, sj, si]
         delta = _apply_divergence(f_e, f_n, f_t, d, sj, si, self.dt)
-        self.t_star.data[:, sj, si] = m * (t[:, sj, si] + delta)
+        out = d.scratch().take(
+            "adv_out", delta.shape, np.result_type(t.dtype, delta.dtype))
+        np.add(t[:, sj, si], delta, out=out)
+        np.multiply(out, m, out=out)
+        self.t_star.data[:, sj, si] = out
 
 
 def _antidiffusive(
@@ -187,49 +289,75 @@ def _antidiffusive(
     The surface antidiffusive flux is zeroed: the limiter has no cell
     above the surface to police, and a zero flux keeps conservation.
     """
-    fc = _central_fluxes(t_star, u, v, w, dom, sj, si)
-    fu = _upwind_fluxes(t_star, u, v, w, dom, sj, si)
-    a_e = fc[0] - fu[0]
-    a_n = fc[1] - fu[1]
-    a_t = fc[2] - fu[2]
+    fc = _central_fluxes(t_star, u, v, w, dom, sj, si, tag="ct")
+    fu = _upwind_fluxes(t_star, u, v, w, dom, sj, si, tag="up")
+    a_e, a_n, a_t = fc
+    np.subtract(a_e, fu[0], out=a_e)
+    np.subtract(a_n, fu[1], out=a_n)
+    np.subtract(a_t, fu[2], out=a_t)
     a_t[0] = 0.0
     return a_e, a_n, a_t
 
 
 def _local_bounds(
     t_old: np.ndarray, t_star: np.ndarray, mask: np.ndarray,
-    sj: slice, si: slice,
+    dom: LocalDomain, sj: slice, si: slice,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Zalesak envelope: extrema of {T, T*} over self + 6 neighbours.
 
     Land neighbours are replaced by the cell's own T* so they cannot
     corrupt the envelope.
-    """
-    own_star = t_star[:, sj, si]
 
-    def nb(arr: np.ndarray, dj: int, di: int, dk: int = 0) -> np.ndarray:
-        vals = arr[:, sh(sj, dj), si if di == 0 else sh(si, di)]
-        msk = mask[:, sh(sj, dj), si if di == 0 else sh(si, di)]
+    Arena notes: every candidate is still evaluated in the historical
+    ``np.stack`` order and folded with a running max/min (numpy's own
+    ``maximum.reduce`` is the same sequential left fold, and max/min are
+    selections, not arithmetic), so the results are bitwise identical.
+    """
+    ws = dom.scratch()
+    own_star = t_star[:, sj, si]
+    shape = own_star.shape
+    dt = own_star.dtype
+    cand = ws.take("fct_cand", shape, dt)
+    vsh = ws.take("fct_vsh", shape, dt)
+    msh = ws.take("fct_msh", shape, mask.dtype)
+    wet = ws.take("fct_msk", shape, np.bool_)
+    tmax = ws.take("fct_tmax", shape, dt)
+    tmin = ws.take("fct_tmin", shape, dt)
+
+    def nb_into(arr: np.ndarray, dj: int, di: int, dk: int = 0) -> None:
+        """cand[:] = where(mask_nb > 0, arr_nb, own_star)."""
+        ss = si if di == 0 else sh(si, di)
+        vals = arr[:, sh(sj, dj), ss]
+        msk = mask[:, sh(sj, dj), ss]
         if dk:
             if dk > 0:
-                vals = np.concatenate([vals[dk:], vals[-1:]], axis=0)
-                msk = np.concatenate([msk[dk:], msk[-1:]], axis=0)
+                vsh[:-dk] = vals[dk:]
+                vsh[-dk:] = vals[-1:]
+                msh[:-dk] = msk[dk:]
+                msh[-dk:] = msk[-1:]
             else:
-                vals = np.concatenate([vals[:1], vals[:dk]], axis=0)
-                msk = np.concatenate([msk[:1], msk[:dk]], axis=0)
-        return np.where(msk > 0.0, vals, own_star)
+                vsh[:1] = vals[:1]
+                vsh[1:] = vals[:dk]
+                msh[:1] = msk[:1]
+                msh[1:] = msk[:dk]
+            vals, msk = vsh, msh
+        np.greater(msk, 0.0, out=wet)
+        np.copyto(cand, own_star)
+        np.copyto(cand, vals, where=wet)
 
-    candidates = []
+    first = True
     for arr in (t_old, t_star):
-        candidates.append(nb(arr, 0, 0))
-        candidates.append(nb(arr, 0, 1))
-        candidates.append(nb(arr, 0, -1))
-        candidates.append(nb(arr, 1, 0))
-        candidates.append(nb(arr, -1, 0))
-        candidates.append(nb(arr, 0, 0, dk=1))
-        candidates.append(nb(arr, 0, 0, dk=-1))
-    stack = np.stack(candidates)
-    return stack.max(axis=0), stack.min(axis=0)
+        for dj, di, dk in ((0, 0, 0), (0, 1, 0), (0, -1, 0), (1, 0, 0),
+                           (-1, 0, 0), (0, 0, 1), (0, 0, -1)):
+            nb_into(arr, dj, di, dk)
+            if first:
+                np.copyto(tmax, cand)
+                np.copyto(tmin, cand)
+                first = False
+            else:
+                np.maximum(tmax, cand, out=tmax)
+                np.minimum(tmin, cand, out=tmin)
+    return tmax, tmin
 
 
 @kokkos_register_for("advect_tracer_limits", ndim=2)
@@ -264,34 +392,69 @@ class FCTLimitFunctor(TileFunctor):
     def apply(self, slices) -> None:
         sj, si = slices
         d = self.dom
+        ws = d.scratch()
         ts = self.t_star.data
         a_e, a_n, a_t = _antidiffusive(
             ts, self.u.data, self.v.data, self.w.data, d, sj, si
         )
-        tmax, tmin = _local_bounds(self.t_old.data, ts, d.mask_t, sj, si)
-        dz = d.dz.reshape(-1, 1, 1)
-        vol = (d.dx_t[sj] * d.dy).reshape(1, -1, 1) * dz
-        # inflow / outflow positive parts
-        p_plus = (
-            np.maximum(a_e[:, :, :-1], 0.0) - np.minimum(a_e[:, :, 1:], 0.0)
-            + np.maximum(a_n[:, :-1, :], 0.0) - np.minimum(a_n[:, 1:, :], 0.0)
-            + np.maximum(a_t[1:], 0.0) - np.minimum(a_t[:-1], 0.0)
-        )
-        p_minus = (
-            np.maximum(a_e[:, :, 1:], 0.0) - np.minimum(a_e[:, :, :-1], 0.0)
-            + np.maximum(a_n[:, 1:, :], 0.0) - np.minimum(a_n[:, :-1, :], 0.0)
-            + np.maximum(a_t[:-1], 0.0) - np.minimum(a_t[1:], 0.0)
-        )
+        tmax, tmin = _local_bounds(self.t_old.data, ts, d.mask_t, d, sj, si)
+        vol = _tile_volume(d, sj, si)
         own = ts[:, sj, si]
-        q_plus = (tmax - own) * vol / self.dt
-        q_minus = (own - tmin) * vol / self.dt
+        shape = own.shape
+        # inflow / outflow positive parts (running-sum fold mirrors the
+        # historical left-associated expression term by term)
+        acc = ws.take("fct_pplus", shape, a_e.dtype)
+        tmp = ws.take("fct_ptmp", shape, a_e.dtype)
+        np.maximum(a_e[:, :, :-1], 0.0, out=acc)
+        np.minimum(a_e[:, :, 1:], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        np.maximum(a_n[:, :-1, :], 0.0, out=tmp)
+        np.add(acc, tmp, out=acc)
+        np.minimum(a_n[:, 1:, :], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        np.maximum(a_t[1:], 0.0, out=tmp)
+        np.add(acc, tmp, out=acc)
+        np.minimum(a_t[:-1], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        p_plus = acc
+        acc = ws.take("fct_pminus", shape, a_e.dtype)
+        np.maximum(a_e[:, :, 1:], 0.0, out=acc)
+        np.minimum(a_e[:, :, :-1], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        np.maximum(a_n[:, 1:, :], 0.0, out=tmp)
+        np.add(acc, tmp, out=acc)
+        np.minimum(a_n[:, :-1, :], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        np.maximum(a_t[:-1], 0.0, out=tmp)
+        np.add(acc, tmp, out=acc)
+        np.minimum(a_t[1:], 0.0, out=tmp)
+        np.subtract(acc, tmp, out=acc)
+        p_minus = acc
+
+        qdiff = ws.take("fct_qdiff", shape, own.dtype)
+        q_plus = ws.take("fct_qplus", shape,
+                         np.result_type(own.dtype, vol.dtype))
+        np.subtract(tmax, own, out=qdiff)
+        np.multiply(qdiff, vol, out=q_plus)
+        np.divide(q_plus, self.dt, out=q_plus)
+        q_minus = ws.take("fct_qminus", shape, q_plus.dtype)
+        np.subtract(own, tmin, out=qdiff)
+        np.multiply(qdiff, vol, out=q_minus)
+        np.divide(q_minus, self.dt, out=q_minus)
+
         m = d.mask_t[:, sj, si]
-        self.r_plus.data[:, sj, si] = np.where(
-            m > 0.0, np.minimum(1.0, q_plus / (p_plus + _TINY)), 1.0
-        )
-        self.r_minus.data[:, sj, si] = np.where(
-            m > 0.0, np.minimum(1.0, q_minus / (p_minus + _TINY)), 1.0
-        )
+        land = ws.take("fct_msk", shape, np.bool_)
+        np.less_equal(m, 0.0, out=land)
+        np.add(p_plus, _TINY, out=p_plus)
+        np.divide(q_plus, p_plus, out=q_plus)
+        np.minimum(q_plus, 1.0, out=q_plus)
+        np.copyto(q_plus, 1.0, where=land)
+        self.r_plus.data[:, sj, si] = q_plus
+        np.add(p_minus, _TINY, out=p_minus)
+        np.divide(q_minus, p_minus, out=q_minus)
+        np.minimum(q_minus, 1.0, out=q_minus)
+        np.copyto(q_minus, 1.0, where=land)
+        self.r_minus.data[:, sj, si] = q_minus
 
 
 @kokkos_register_for("advect_tracer_apply", ndim=2)
@@ -330,6 +493,7 @@ class FCTApplyFunctor(TileFunctor):
     def apply(self, slices) -> None:
         sj, si = slices
         d = self.dom
+        ws = d.scratch()
         ts = self.t_star.data
         rp = self.r_plus.data
         rm = self.r_minus.data
@@ -342,34 +506,64 @@ class FCTApplyFunctor(TileFunctor):
         rp_e = rp[:, sj, sh(sie, 1)]
         rm_w = rm[:, sj, sie]
         rm_e = rm[:, sj, sh(sie, 1)]
-        c_e = np.where(a_e > 0.0, np.minimum(rp_e, rm_w), np.minimum(rp_w, rm_e))
+        c_e = ws.take("fct_ce", a_e.shape, rp.dtype)
+        ctmp = ws.take("fct_cetmp", a_e.shape, rp.dtype)
+        up = ws.take("fct_upe", a_e.shape, np.bool_)
+        np.minimum(rp_w, rm_e, out=c_e)          # outflow-limited branch
+        np.minimum(rp_e, rm_w, out=ctmp)         # inflow-limited branch
+        np.greater(a_e, 0.0, out=up)
+        np.copyto(c_e, ctmp, where=up)
 
         sjn = slice(sj.start - 1, sj.stop)
         rp_s = rp[:, sjn, si]
         rp_n = rp[:, sh(sjn, 1), si]
         rm_s = rm[:, sjn, si]
         rm_n = rm[:, sh(sjn, 1), si]
-        c_n = np.where(a_n > 0.0, np.minimum(rp_n, rm_s), np.minimum(rp_s, rm_n))
+        c_n = ws.take("fct_cn", a_n.shape, rp.dtype)
+        ctmp_n = ws.take("fct_cntmp", a_n.shape, rp.dtype)
+        up_n = ws.take("fct_upn", a_n.shape, np.bool_)
+        np.minimum(rp_s, rm_n, out=c_n)
+        np.minimum(rp_n, rm_s, out=ctmp_n)
+        np.greater(a_n, 0.0, out=up_n)
+        np.copyto(c_n, ctmp_n, where=up_n)
 
         rp_col = rp[:, sj, si]
         rm_col = rm[:, sj, si]
-        rp_above = np.concatenate([rp_col[:1], rp_col], axis=0)
-        rm_above = np.concatenate([rm_col[:1], rm_col], axis=0)
-        rp_here = np.concatenate([rp_col, rp_col[-1:]], axis=0)
-        rm_here = np.concatenate([rm_col, rm_col[-1:]], axis=0)
+        nz = d.nz
+        rp_above = ws.take("fct_rpa", a_t.shape, rp.dtype)
+        rp_above[0] = rp_col[0]
+        rp_above[1:] = rp_col
+        rm_above = ws.take("fct_rma", a_t.shape, rp.dtype)
+        rm_above[0] = rm_col[0]
+        rm_above[1:] = rm_col
+        rp_here = ws.take("fct_rph", a_t.shape, rp.dtype)
+        rp_here[:nz] = rp_col
+        rp_here[nz] = rp_col[-1]
+        rm_here = ws.take("fct_rmh", a_t.shape, rp.dtype)
+        rm_here[:nz] = rm_col
+        rm_here[nz] = rm_col[-1]
         # a_t[k] is the top face of cell k: positive-up flux leaves cell k
         # and enters cell k-1 (above)
-        c_t = np.where(
-            a_t > 0.0, np.minimum(rp_above, rm_here), np.minimum(rp_here, rm_above)
-        )
+        c_t = ws.take("fct_ct", a_t.shape, rp.dtype)
+        ctmp_t = ws.take("fct_cttmp", a_t.shape, rp.dtype)
+        up_t = ws.take("fct_upt", a_t.shape, np.bool_)
+        np.minimum(rp_here, rm_above, out=c_t)
+        np.minimum(rp_above, rm_here, out=ctmp_t)
+        np.greater(a_t, 0.0, out=up_t)
+        np.copyto(c_t, ctmp_t, where=up_t)
         c_t[0] = 0.0
         c_t[-1] = 0.0
 
-        delta = _apply_divergence(
-            a_e * c_e, a_n * c_n, a_t * c_t, d, sj, si, self.dt
-        )
+        np.multiply(a_e, c_e, out=a_e)
+        np.multiply(a_n, c_n, out=a_n)
+        np.multiply(a_t, c_t, out=a_t)
+        delta = _apply_divergence(a_e, a_n, a_t, d, sj, si, self.dt)
         m = d.mask_t[:, sj, si]
-        self.t_new.data[:, sj, si] = m * (ts[:, sj, si] + delta)
+        out = ws.take(
+            "adv_out", delta.shape, np.result_type(ts.dtype, delta.dtype))
+        np.add(ts[:, sj, si], delta, out=out)
+        np.multiply(out, m, out=out)
+        self.t_new.data[:, sj, si] = out
 
 
 @kokkos_register_for("tracer_hdiff", ndim=2)
@@ -403,27 +597,53 @@ class TracerHDiffusionFunctor(TileFunctor):
     def apply(self, slices) -> None:
         sj, si = slices
         d = self.dom
+        ws = d.scratch()
         t = self.t_in.data
         m = d.mask_t
         dz = d.dz.reshape(-1, 1, 1)
         dy = d.dy
         nz = d.nz
         sk = slice(0, nz)
+        nj = sj.stop - sj.start
+        ni = si.stop - si.start
 
         sie = slice(si.start - 1, si.stop)
         dxt_row = d.dx_t[sj].reshape(1, -1, 1)
-        open_e = m[sk, sj, sie] * m[sk, sj, sh(sie, 1)]
-        f_e = self.kappa * dy * dz * open_e * (
-            t[sk, sj, sh(sie, 1)] - t[sk, sj, sie]
-        ) / dxt_row
+        open_e = ws.take("hd_open_e", (nz, nj, ni + 1), m.dtype)
+        np.multiply(m[sk, sj, sie], m[sk, sj, sh(sie, 1)], out=open_e)
+        coef = ws.take("hd_coef", (nz, 1, 1), dz.dtype)
+        np.multiply(dz, self.kappa * dy, out=coef)
+        tdiff = ws.take("hd_tdiff_e", open_e.shape, t.dtype)
+        np.subtract(t[sk, sj, sh(sie, 1)], t[sk, sj, sie], out=tdiff)
+        f_e = ws.take("hd_fe", open_e.shape,
+                      np.result_type(coef.dtype, m.dtype, t.dtype))
+        np.multiply(open_e, coef, out=f_e)
+        np.multiply(f_e, tdiff, out=f_e)
+        np.divide(f_e, dxt_row, out=f_e)
 
         sjn = slice(sj.start - 1, sj.stop)
         dxu = d.dx_u[sjn].reshape(1, -1, 1)
-        open_n = m[sk, sjn, si] * m[sk, sh(sjn, 1), si]
-        f_n = self.kappa * dxu * dz * open_n * (
-            t[sk, sh(sjn, 1), si] - t[sk, sjn, si]
-        ) / dy
+        open_n = ws.take("hd_open_n", (nz, nj + 1, ni), m.dtype)
+        np.multiply(m[sk, sjn, si], m[sk, sh(sjn, 1), si], out=open_n)
+        kdxu = ws.take("hd_kdxu", (1, nj + 1, 1), dxu.dtype)
+        np.multiply(dxu, self.kappa, out=kdxu)
+        coef_n = ws.take("hd_coef_n", (nz, nj + 1, 1),
+                         np.result_type(dxu.dtype, dz.dtype))
+        np.multiply(kdxu, dz, out=coef_n)
+        tdiff_n = ws.take("hd_tdiff_n", open_n.shape, t.dtype)
+        np.subtract(t[sk, sh(sjn, 1), si], t[sk, sjn, si], out=tdiff_n)
+        f_n = ws.take("hd_fn", open_n.shape,
+                      np.result_type(coef_n.dtype, m.dtype, t.dtype))
+        np.multiply(open_n, coef_n, out=f_n)
+        np.multiply(f_n, tdiff_n, out=f_n)
+        np.divide(f_n, dy, out=f_n)
 
-        vol = (d.dx_t[sj] * dy).reshape(1, -1, 1) * dz
-        div = f_e[:, :, 1:] - f_e[:, :, :-1] + f_n[:, 1:, :] - f_n[:, :-1, :]
-        self.t_new.data[:, sj, si] += self.dt * div / vol * m[:, sj, si]
+        vol = _tile_volume(d, sj, si)
+        div = ws.take("hd_div", (nz, nj, ni), f_e.dtype)
+        np.subtract(f_e[:, :, 1:], f_e[:, :, :-1], out=div)
+        np.add(div, f_n[:, 1:, :], out=div)
+        np.subtract(div, f_n[:, :-1, :], out=div)
+        np.multiply(div, self.dt, out=div)
+        np.divide(div, vol, out=div)
+        np.multiply(div, m[:, sj, si], out=div)
+        self.t_new.data[:, sj, si] += div

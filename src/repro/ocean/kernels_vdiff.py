@@ -28,21 +28,46 @@ def _diffusion_matrix(
     dz: np.ndarray,      # (nz,)
     z_t: np.ndarray,     # (nz,)
     dt: float,
+    ws=None,
 ):
-    """Build (lower, diag, upper) of (I - dt * d/dz(kappa d/dz))."""
+    """Build (lower, diag, upper) of (I - dt * d/dz(kappa d/dz)).
+
+    The bands come from the workspace arena when one is passed; either
+    path performs the identical operation sequence.
+    """
     nz = dz.size
     dzc = dz.reshape(-1, 1, 1)
     dzw = np.diff(z_t).reshape(-1, 1, 1)  # (nz-1, 1, 1) center-to-center
     shape = kappa.shape
-    lower = np.zeros(shape)
-    upper = np.zeros(shape)
-    # interface k sits between level k and k+1; open only if both are ocean
-    if nz > 1:
-        open_iface = mask[:-1] * mask[1:]
-        kap = kappa[:-1] * open_iface
-        upper[:-1] = -dt * kap / (dzc[:-1] * dzw)     # couples level k to k+1
-        lower[1:] = -dt * kap / (dzc[1:] * dzw)       # couples level k+1 to k
-    diag = 1.0 - lower - upper
+    if ws is None:
+        lower = np.zeros(shape)
+        upper = np.zeros(shape)
+        # interface k sits between level k and k+1; open only if both ocean
+        if nz > 1:
+            open_iface = mask[:-1] * mask[1:]
+            kap = kappa[:-1] * open_iface
+            upper[:-1] = -dt * kap / (dzc[:-1] * dzw)  # couples level k to k+1
+            lower[1:] = -dt * kap / (dzc[1:] * dzw)    # couples level k+1 to k
+        diag = 1.0 - lower - upper
+    else:
+        lower = ws.take("vd_lower", shape, np.float64, fill=0.0)
+        upper = ws.take("vd_upper", shape, np.float64, fill=0.0)
+        if nz > 1:
+            fshape = (nz - 1,) + shape[1:]
+            open_iface = ws.take("vd_open", fshape, mask.dtype)
+            np.multiply(mask[:-1], mask[1:], out=open_iface)
+            kap = ws.take("vd_kap", fshape,
+                          np.result_type(kappa.dtype, mask.dtype))
+            np.multiply(kappa[:-1], open_iface, out=kap)
+            np.multiply(kap, -dt, out=kap)
+            dzp = ws.take("vd_dzp", dzw.shape, dzw.dtype)
+            np.multiply(dzc[:-1], dzw, out=dzp)
+            np.divide(kap, dzp, out=upper[:-1])
+            np.multiply(dzc[1:], dzw, out=dzp)
+            np.divide(kap, dzp, out=lower[1:])
+        diag = ws.take("vd_diag", shape, np.float64)
+        np.subtract(1.0, lower, out=diag)
+        np.subtract(diag, upper, out=diag)
     # land levels: identity rows
     land = mask == 0.0
     lower[land] = 0.0
@@ -82,9 +107,11 @@ class VerticalFrictionFunctor(TileFunctor):
     def apply(self, slices) -> None:
         sj, si = slices
         d = self.dom
+        ws = d.scratch()
         mu = d.mask_u[:, sj, si]
         kap = self.kappa_m.data[:, sj, si]
-        lower, diag, upper = _diffusion_matrix(kap, mu, d.dz, d.z_t, self.dt)
+        lower, diag, upper = _diffusion_matrix(kap, mu, d.dz, d.z_t, self.dt,
+                                               ws=ws)
         # linear bottom drag, implicit: add r*dt to the bottom-level diagonal
         kmt_u = np.sum(mu > 0.0, axis=0).astype(int)   # active levels per column
         nz = d.nz
@@ -95,12 +122,20 @@ class VerticalFrictionFunctor(TileFunctor):
         has_ocean = kmt_u > 0
         diag[kb[jj, ii], jj, ii] += np.where(has_ocean, self.bottom_drag * self.dt, 0.0)
 
+        srow = ws.take("vf_srow", mu.shape[1:],
+                       np.result_type(self.taux.dtype, mu.dtype))
         for fld, tau in ((self.u, self.taux), (self.v, self.tauy)):
-            rhs = fld.data[:, sj, si] * mu
+            rhs = ws.take("vf_rhs", mu.shape,
+                          np.result_type(fld.data.dtype, mu.dtype))
+            np.multiply(fld.data[:, sj, si], mu, out=rhs)
             # surface momentum flux enters the top level
-            rhs[0] += self.dt * tau[sj, si] / (RHO0 * d.dz[0]) * mu[0]
-            sol = thomas_solve(lower, diag, upper, rhs)
-            fld.data[:, sj, si] = sol * mu
+            np.multiply(tau[sj, si], self.dt, out=srow)
+            np.divide(srow, RHO0 * d.dz[0], out=srow)
+            np.multiply(srow, mu[0], out=srow)
+            rhs[0] += srow
+            sol = thomas_solve(lower, diag, upper, rhs, ws=ws, key="vf")
+            np.multiply(sol, mu, out=sol)
+            fld.data[:, sj, si] = sol
 
 
 @kokkos_register_for("vertical_tracer_diffusion", ndim=2)
@@ -137,12 +172,21 @@ class VerticalTracerDiffusionFunctor(TileFunctor):
     def apply(self, slices) -> None:
         sj, si = slices
         d = self.dom
+        ws = d.scratch()
         m = d.mask_t[:, sj, si]
         kap = self.kappa_h.data[:, sj, si]
-        lower, diag, upper = _diffusion_matrix(kap, m, d.dz, d.z_t, self.dt)
-        rhs = self.tr.data[:, sj, si] * m
+        lower, diag, upper = _diffusion_matrix(kap, m, d.dz, d.z_t, self.dt,
+                                               ws=ws)
+        rhs = ws.take("vt_rhs", m.shape,
+                      np.result_type(self.tr.data.dtype, m.dtype))
+        np.multiply(self.tr.data[:, sj, si], m, out=rhs)
         g = self.gamma * self.dt
-        diag[0] += g * m[0]
-        rhs[0] += g * self.star[sj, si] * m[0]
-        sol = thomas_solve(lower, diag, upper, rhs)
-        self.tr.data[:, sj, si] = sol * m
+        srow = ws.take("vt_srow", m.shape[1:], m.dtype)
+        np.multiply(m[0], g, out=srow)
+        diag[0] += srow
+        np.multiply(self.star[sj, si], g, out=srow)
+        np.multiply(srow, m[0], out=srow)
+        rhs[0] += srow
+        sol = thomas_solve(lower, diag, upper, rhs, ws=ws, key="vt")
+        np.multiply(sol, m, out=sol)
+        self.tr.data[:, sj, si] = sol

@@ -10,11 +10,12 @@ compare against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..kokkos.workspace import Workspace, null_workspace
 from ..parallel.decomp import BlockDecomposition
 from .grid import Grid
 from .topography import Topography
@@ -110,6 +111,35 @@ class LocalDomain:
     mask_u: np.ndarray      # (nz, ly, lx) at U corners
     kmt: np.ndarray         # (ly, lx) active levels
     depth_t: np.ndarray     # (ly, lx) column depth [m]
+    # scratch arena the model wires in (None => per-call allocations)
+    workspace: Optional[Workspace] = None
+    # cached (cos, sin) rotation rows keyed by the Coriolis angle step
+    _rot_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False)
+
+    def coriolis_rotation(self, dtb: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(cos, sin)`` of the rotation angle ``f_u * dtb``.
+
+        The angle is static geometry times a constant substep length, so
+        the trig is paid once per run instead of per tile per substep;
+        slicing the cached rows gives bitwise the same values a tile
+        would compute itself.
+        """
+        rot = self._rot_cache.get(dtb)
+        if rot is None:
+            th = self.f_u * dtb
+            rot = self._rot_cache[dtb] = (np.cos(th), np.sin(th))
+        return rot
+
+    def scratch(self) -> Workspace:
+        """The arena kernel bodies draw their temporaries from.
+
+        Falls back to the process-wide disabled workspace (fresh
+        allocation per request, identical numerics) when no model wired
+        an arena into this domain.
+        """
+        ws = self.workspace
+        return ws if ws is not None else null_workspace()
 
     @property
     def interior(self) -> Tuple[slice, slice]:

@@ -32,8 +32,10 @@ import numpy as np
 from ..errors import StabilityError
 from ..kokkos import (
     ExecutionSpace,
+    LaunchGraph,
     MDRangePolicy,
     View,
+    Workspace,
     kokkos_register_for,
     make_backend,
 )
@@ -92,6 +94,14 @@ class ModelParams:
                                     # (one message per neighbour per phase,
                                     # persistent buffers, zero-copy sends);
                                     # bitwise identical to the per-field path
+    graph: bool = False             # capture the step's launch sequence once
+                                    # and replay it through cached per-backend
+                                    # plans (bitwise identical to eager)
+    graph_fuse: bool = True         # merge adjacent compatible elementwise
+                                    # launches into one sweep on graph seal
+    arena: bool = True              # workspace arena for kernel scratch
+                                    # arrays (zero steady-state allocations);
+                                    # False reverts to per-call allocation
     forcing: ForcingParams = field(default_factory=ForcingParams)
 
 
@@ -150,6 +160,9 @@ class LICOMKpp:
             self.grid, self.topo, self.decomp, self.rank
         )
         d = self.domain
+        # scratch arena the kernel apply bodies draw temporaries from;
+        # disabled => fresh allocation per request, identical numerics
+        d.workspace = Workspace(enabled=self.params.arena, inst=self.space.inst)
         if self.params.precision not in ("double", "single"):
             raise ValueError(
                 f"precision must be 'double' or 'single', got "
@@ -191,7 +204,11 @@ class LICOMKpp:
         self.vm_old = View("vmean_old", s2, dtype=dt_, space=sp)
         self.gx = View("gforce_x", s2, dtype=dt_, space=sp)
         self.gy = View("gforce_y", s2, dtype=dt_, space=sp)
-        self.neg = View("neg_mean", s2, dtype=dt_, space=sp)
+        # negated depth means for the barotropic strip: two views (not
+        # one reused buffer) so the strip_u/strip_v launches are adjacent
+        # and the graph fusion pass can merge them
+        self.negu = View("neg_umean", s2, dtype=dt_, space=sp)
+        self.negv = View("neg_vmean", s2, dtype=dt_, space=sp)
 
         # -- forcing, geometry ------------------------------------------------
         global_forcing = make_forcing(self.grid, self.params.forcing)
@@ -214,6 +231,15 @@ class LICOMKpp:
         self.eta_diff = 0.02 * dxm * dxm / config.dt_barotropic
         self.nstep = 0
         self.time_seconds = 0.0
+
+        # -- step-graph capture & replay --------------------------------------
+        # graphs are keyed by the step variant they recorded (first step
+        # uses dt2 = dt; canuto may be intermittent); each sealed graph
+        # carries the binding signature it captured under and is dropped
+        # when the signature no longer matches (re-capture).
+        self._graphs: Dict[tuple, LaunchGraph] = {}
+        self._capture: Optional[LaunchGraph] = None
+        self._graph_captures = 0
 
         # -- policies ---------------------------------------------------------
         h = d.halo
@@ -314,17 +340,99 @@ class LICOMKpp:
         self.halo.update_many(fields, phase="halo2")
 
     # ------------------------------------------------------------------
+    # launch routing (eager / graph capture / graph replay)
+    # ------------------------------------------------------------------
+
+    def _run(self, label: str, policy, functor) -> None:
+        """Dispatch one kernel launch, recording it when capturing."""
+        if self._capture is not None:
+            self._capture.add_kernel(label, policy, functor)
+        self.space.parallel_for(label, policy, functor)
+
+    def _host(self, fn, label: str = "host") -> None:
+        """Run host-side glue, recording the closure when capturing."""
+        if self._capture is not None:
+            self._capture.add_host(fn, label)
+        fn()
+
+    def _binding_signature(self) -> tuple:
+        """Identity of everything a captured graph bakes into functors.
+
+        Leapfrog rotation swaps buffers beneath stable views
+        (:meth:`~repro.kokkos.view.View.rebind`), so view *object*
+        identities survive rotation and the signature stays valid step
+        to step.  Replacing a view, or changing a numeric parameter that
+        functor constructors copy, changes the signature and forces a
+        re-capture.
+        """
+        st = self.state
+        views = [st.w, st.rho, st.p, st.kappa_m, st.kappa_h, st.ub, st.vb,
+                 self.eta, self.eta_prev, self.um, self.vm, self.um_old,
+                 self.vm_old, self.gx, self.gy, self.negu, self.negv]
+        for f in (st.u, st.v, st.t, st.s, st.ssh, *st.passive):
+            views += [f.old, f.cur, f.new]
+        views += (self.tstar_all + self.tdiff_work_all
+                  + self.rplus_all + self.rminus_all)
+        nums = (self.visc, self.bivisc, self.tdiff, self.eta_diff,
+                self.params.asselin, self.params.bottom_drag,
+                self.params.advect_momentum, self.params.n_passive,
+                self.params.halo_fused, self.params.canuto_every,
+                self.config.dt_baroclinic, self.config.dt_barotropic,
+                self.gamma_t, self.gamma_s)
+        return (tuple(id(v) for v in views), nums)
+
+    # ------------------------------------------------------------------
     # one baroclinic step
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        """Advance the model one baroclinic time step."""
+        """Advance the model one baroclinic time step.
+
+        With ``params.graph`` the first step of each variant (startup
+        forward step / canuto on or off) runs eagerly while recording
+        into a :class:`~repro.kokkos.graph.LaunchGraph`; later steps
+        replay the sealed graph through cached launch plans — bitwise
+        identical, near-zero dispatch.
+        """
+        dt = self.config.dt_baroclinic
+        dt2 = dt if self.nstep == 0 else 2.0 * dt
+        canuto = bool(self.params.canuto_every
+                      and self.nstep % self.params.canuto_every == 0)
+        if not self.params.graph:
+            self._step_body(dt2, canuto)
+        else:
+            key = (self.nstep == 0, canuto)
+            sig = self._binding_signature()
+            graph = self._graphs.get(key)
+            if graph is not None and graph.signature != sig:
+                graph = None  # bindings changed: drop and re-capture
+            if graph is None:
+                graph = LaunchGraph(self.space, fuse=self.params.graph_fuse)
+                self._capture = graph
+                try:
+                    self._step_body(dt2, canuto)
+                finally:
+                    self._capture = None
+                graph.signature = sig
+                self._graphs[key] = graph.seal()
+                self._graph_captures += 1
+            else:
+                with self.timers.timer("step"):
+                    graph.replay()
+        self.nstep += 1
+        self.time_seconds += dt
+        ce = self.params.check_every
+        if ce and self.nstep % ce == 0 and self.state.has_nan():
+            raise StabilityError(
+                f"NaN/Inf in prognostic fields at step {self.nstep} "
+                f"(t = {self.time_seconds / 86400.0:.2f} days)"
+            )
+
+    def _step_body(self, dt2: float, canuto: bool) -> None:
+        """The step's launch/host sequence (run eagerly, maybe recorded)."""
         st = self.state
         d = self.domain
-        cfg = self.config
-        dt = cfg.dt_baroclinic
-        dt2 = dt if self.nstep == 0 else 2.0 * dt
-        run = self.space.parallel_for
+        run = self._run
 
         with self.timers.timer("step"):
             # -- density / pressure / mixing coefficients -------------------
@@ -333,7 +441,7 @@ class LICOMKpp:
                     EOSFunctor(st.t.cur, st.s.cur, st.rho, d.mask_t))
                 run("baroclinic_pressure", self.p_full2,
                     PressureFunctor(st.rho, st.p, d.mask_t, d.dz))
-            if self.params.canuto_every and self.nstep % self.params.canuto_every == 0:
+            if canuto:
                 with self.timers.timer("canuto"):
                     self._run_canuto()
 
@@ -366,15 +474,11 @@ class LICOMKpp:
                     DepthMeanFunctor(st.u.new, self.um, d))
                 run("depth_mean_v_new", self.p_full2,
                     DepthMeanFunctor(st.v.new, self.vm, d))
-                # the depth means feed a host-side update next
-                self.space.fence()
-                self.gx.raw[...] = (self.um.raw - self.um_old.raw) / dt2
-                self.gy.raw[...] = (self.vm.raw - self.vm_old.raw) / dt2
+                self._host(lambda: self._update_gforce(dt2), "gforce")
                 run("coriolis_rotation", self.p_int3,
                     CoriolisRotationFunctor(st.u.new, st.v.new,
                                             st.u.old, st.v.old, d, dt2))
-            with self.timers.timer("halo_momentum"):
-                self._halo3_group([(st.u.new, -1.0, 0.0), (st.v.new, -1.0, 0.0)])
+            self._host(self._halo_uv_new, "halo_momentum")
 
             # -- split-explicit barotropic mode -----------------------------
             with self.timers.timer("barotropic"):
@@ -392,23 +496,50 @@ class LICOMKpp:
                         AsselinFilterFunctor(f.old, f.cur, f.new, a))
                 run("asselin_filter_ssh", self.p_full2,
                     _Asselin2D(st.ssh.old, st.ssh.cur, st.ssh.new, a))
-                # retire all launches before the host-side rotate and the
-                # NaN check read the prognostic fields
-                self.space.fence()
-                st.rotate()
+                self._host(self._rotate_state, "rotate")
 
-        self.nstep += 1
-        self.time_seconds += dt
-        ce = self.params.check_every
-        if ce and self.nstep % ce == 0 and st.has_nan():
-            raise StabilityError(
-                f"NaN/Inf in prognostic fields at step {self.nstep} "
-                f"(t = {self.time_seconds / 86400.0:.2f} days)"
-            )
+    # -- host-side glue (captured as graph host nodes) -------------------
+
+    def _update_gforce(self, dt2: float) -> None:
+        self.space.fence()  # the depth means feed this host-side update
+        self.gx.raw[...] = (self.um.raw - self.um_old.raw) / dt2
+        self.gy.raw[...] = (self.vm.raw - self.vm_old.raw) / dt2
+
+    def _halo_uv_new(self) -> None:
+        st = self.state
+        with self.timers.timer("halo_momentum"):
+            self._halo3_group([(st.u.new, -1.0, 0.0), (st.v.new, -1.0, 0.0)])
+
+    def _negate_means(self) -> None:
+        self.space.fence()  # um/vm feed the host-side negation
+        self.negu.raw[...] = -self.um.raw
+        self.negv.raw[...] = -self.vm.raw
+
+    def _eta_init(self) -> None:
+        self.eta.raw[...] = self.state.ssh.cur.raw
+
+    def _eta_snapshot(self) -> None:
+        self.eta_prev.raw[...] = self.eta.raw
+
+    def _halo_eta(self) -> None:
+        self._halo2_group([(self.eta, 1.0, 0.0)])
+
+    def _halo_ubvb(self) -> None:
+        st = self.state
+        self._halo2_group([(st.ub, -1.0, 0.0), (st.vb, -1.0, 0.0)])
+
+    def _ssh_from_eta(self) -> None:
+        self.state.ssh.new.raw[...] = self.eta.raw
+
+    def _rotate_state(self) -> None:
+        # retire all launches before the host-side rotate and the
+        # NaN check read the prognostic fields
+        self.space.fence()
+        self.state.rotate()
 
     def _run_canuto(self) -> None:
         st = self.state
-        self.space.parallel_for(
+        self._run(
             "canuto_mixing", self.p_int2,
             CanutoMixFunctor(st.u.cur, st.v.cur, st.rho,
                              st.kappa_m, st.kappa_h, self.domain))
@@ -424,23 +555,22 @@ class LICOMKpp:
         """
         st = self.state
         d = self.domain
-        run = self.space.parallel_for
+        run = self._run
         dtb = self.config.dt_barotropic
         steps = max(1, int(round(self.config.dt_baroclinic / dtb)))
 
         # strip the provisional barotropic mode from the 3-D velocity
-        # (the depth-mean force gx/gy was captured pre-rotation in step())
+        # (the depth-mean force gx/gy was captured pre-rotation in step());
+        # both means are negated in one host node so strip_u/strip_v stay
+        # adjacent (fusible) — strip_u never reads negv, so no fence between
         run("depth_mean_u_new", self.p_full2, DepthMeanFunctor(st.u.new, self.um, d))
         run("depth_mean_v_new", self.p_full2, DepthMeanFunctor(st.v.new, self.vm, d))
-        self.space.fence()  # um/vm feed the host-side negation below
-        self.neg.raw[...] = -self.um.raw
-        run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.neg, d))
-        self.space.fence()  # strip_u reads neg; retire it before reuse
-        self.neg.raw[...] = -self.vm.raw
-        run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.neg, d))
+        self._host(self._negate_means, "negate_means")
+        run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.negu, d))
+        run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.negv, d))
 
         # subcycle state: start from (eta, ubar) at the current level
-        self.eta.raw[...] = st.ssh.cur.raw
+        self._host(self._eta_init, "eta_init")
         run("depth_mean_u_cur", self.p_full2, DepthMeanFunctor(st.u.cur, st.ub, d))
         run("depth_mean_v_cur", self.p_full2, DepthMeanFunctor(st.v.cur, st.vb, d))
 
@@ -450,18 +580,17 @@ class LICOMKpp:
         )
         mom = BarotropicMomentumFunctor(st.ub, st.vb, self.eta, self.gx, self.gy, d, dtb)
         for _ in range(steps):
-            self.eta_prev.raw[...] = self.eta.raw
+            self._host(self._eta_snapshot, "eta_prev")
             run("barotropic_continuity", self.p_int2, cont)
-            self._halo2_group([(self.eta, 1.0, 0.0)])
+            self._host(self._halo_eta, "halo_eta")
             run("barotropic_momentum", self.p_int2, mom)
-            self._halo2_group([(st.ub, -1.0, 0.0), (st.vb, -1.0, 0.0)])
+            self._host(self._halo_ubvb, "halo_ubvb")
 
-        st.ssh.new.raw[...] = self.eta.raw
+        self._host(self._ssh_from_eta, "ssh_store")
         # re-attach the subcycled barotropic mode
         run("add_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, st.ub, d))
         run("add_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, st.vb, d))
-        with self.timers.timer("halo_momentum"):
-            self._halo3_group([(st.u.new, -1.0, 0.0), (st.v.new, -1.0, 0.0)])
+        self._host(self._halo_uv_new, "halo_momentum")
 
     def _tracer_suite(self, dt2: float) -> None:
         """Advance every tracer (T, S, passives) one step.
@@ -485,36 +614,53 @@ class LICOMKpp:
             return
 
         d = self.domain
-        run = self.space.parallel_for
+        run = self._run
         n = len(tracers)
         work, tst = self.tdiff_work_all, self.tstar_all
         rp, rm = self.rplus_all, self.rminus_all
-        # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old).
-        # Host copies complete before any launch: interleaving a copy of
-        # work[i+1] with the in-flight hdiff of work[i] would race on an
-        # async backend (kernelcheck memory-space rule).
-        for i, (fld, _, _) in enumerate(tracers):
-            work[i].raw[...] = fld.old.raw
+
+        def seed_work() -> None:
+            # Host copies complete before any launch: interleaving a copy
+            # of work[i+1] with the in-flight hdiff of work[i] would race
+            # on an async backend (kernelcheck memory-space rule).
+            for i, (fld, _, _) in enumerate(tracers):
+                work[i].raw[...] = fld.old.raw
+
+        def halo_work() -> None:
+            with self.timers.timer("halo_tracer"):
+                self._halo3_group([(work[i], 1.0, 0.0) for i in range(n)])
+
+        def halo_tstar() -> None:
+            with self.timers.timer("halo_tracer"):
+                self._halo3_group([(tst[i], 1.0, 0.0) for i in range(n)])
+
+        def halo_limits() -> None:
+            with self.timers.timer("halo_tracer"):
+                self._halo3_group([(rp[i], 1.0, 1.0) for i in range(n)]
+                                  + [(rm[i], 1.0, 1.0) for i in range(n)])
+
+        def halo_new() -> None:
+            with self.timers.timer("halo_tracer"):
+                self._halo3_group([(fld.new, 1.0, 0.0) for fld, _, _ in tracers])
+
+        # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old)
+        self._host(seed_work, "tracer_seed")
         for i, (fld, _, _) in enumerate(tracers):
             run("tracer_hdiff", self.p_int2,
                 TracerHDiffusionFunctor(fld.old, work[i], d, dt2, self.tdiff))
-        with self.timers.timer("halo_tracer"):
-            self._halo3_group([(work[i], 1.0, 0.0) for i in range(n)])
+        self._host(halo_work, "halo_tracer")
         # stage 2 — low-order predictor
         for i in range(n):
             run("advect_tracer_predictor", self.p_int2,
                 AdvectPredictorFunctor(work[i], st.u.cur, st.v.cur, st.w,
                                        tst[i], d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3_group([(tst[i], 1.0, 0.0) for i in range(n)])
+        self._host(halo_tstar, "halo_tracer")
         # stage 3 — FCT limiters: every tracer's R+ and R- in one message
         for i in range(n):
             run("advect_tracer_limits", self.p_int2,
                 FCTLimitFunctor(work[i], tst[i], st.u.cur, st.v.cur,
                                 st.w, rp[i], rm[i], d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3_group([(rp[i], 1.0, 1.0) for i in range(n)]
-                              + [(rm[i], 1.0, 1.0) for i in range(n)])
+        self._host(halo_limits, "halo_tracer")
         # stage 4 — limited apply + implicit vertical operator
         for i, (fld, star2d, gamma) in enumerate(tracers):
             run("advect_tracer_apply", self.p_int2,
@@ -523,8 +669,7 @@ class LICOMKpp:
             run("vertical_tracer_diffusion", self.p_int2,
                 VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
                                                gamma, d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3_group([(fld.new, 1.0, 0.0) for fld, _, _ in tracers])
+        self._host(halo_new, "halo_tracer")
 
     def _tracer_step(self, i: int, fld, star2d: np.ndarray, gamma: float,
                      dt2: float) -> None:
@@ -538,34 +683,44 @@ class LICOMKpp:
         """
         st = self.state
         d = self.domain
-        run = self.space.parallel_for
+        run = self._run
         work, tst = self.tdiff_work_all[i], self.tstar_all[i]
         rp, rm = self.rplus_all[i], self.rminus_all[i]
+
+        def seed_work() -> None:
+            work.raw[...] = fld.old.raw
+
+        def halo_one(view, fill=0.0):
+            def fn() -> None:
+                with self.timers.timer("halo_tracer"):
+                    self._halo3(view, fill=fill)
+            return fn
+
+        def halo_limits() -> None:
+            with self.timers.timer("halo_tracer"):
+                self._halo3(rp, fill=1.0)
+                self._halo3(rm, fill=1.0)
+
         # diffuse-then-advect: work = old + dt * div(k grad old)
-        work.raw[...] = fld.old.raw
+        self._host(seed_work, "tracer_seed")
         run("tracer_hdiff", self.p_int2,
             TracerHDiffusionFunctor(fld.old, work, d, dt2, self.tdiff))
-        with self.timers.timer("halo_tracer"):
-            self._halo3(work)
+        self._host(halo_one(work), "halo_tracer")
         run("advect_tracer_predictor", self.p_int2,
             AdvectPredictorFunctor(work, st.u.cur, st.v.cur, st.w,
                                    tst, d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3(tst)
+        self._host(halo_one(tst), "halo_tracer")
         run("advect_tracer_limits", self.p_int2,
             FCTLimitFunctor(work, tst, st.u.cur, st.v.cur,
                             st.w, rp, rm, d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3(rp, fill=1.0)
-            self._halo3(rm, fill=1.0)
+        self._host(halo_limits, "halo_tracer")
         run("advect_tracer_apply", self.p_int2,
             FCTApplyFunctor(tst, st.u.cur, st.v.cur, st.w,
                             rp, rm, fld.new, d, dt2))
         run("vertical_tracer_diffusion", self.p_int2,
             VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
                                            gamma, d, dt2))
-        with self.timers.timer("halo_tracer"):
-            self._halo3(fld.new)
+        self._host(halo_one(fld.new), "halo_tracer")
 
     # ------------------------------------------------------------------
     # driving and output

@@ -34,8 +34,18 @@ class LeapfrogField:
         self.new = View(f"{name}_new", shape, dtype=dtype, space=space)
 
     def rotate(self) -> None:
-        """Advance one step: cur -> old, new -> cur (buffers recycled)."""
-        self.old, self.cur, self.new = self.cur, self.new, self.old
+        """Advance one step: cur -> old, new -> cur (buffers recycled).
+
+        Rotation swaps the *buffers* beneath stable ``View`` objects
+        (``View.rebind``) rather than reassigning the ``old/cur/new``
+        attributes.  Functor instances bound to these views at graph
+        capture time therefore keep seeing the advancing time levels —
+        leapfrog rotation never invalidates a captured launch graph.
+        """
+        a_old, a_cur, a_new = self.old.raw, self.cur.raw, self.new.raw
+        self.old.rebind(a_cur)
+        self.cur.rebind(a_new)
+        self.new.rebind(a_old)
 
     def set_initial(self, value: np.ndarray) -> None:
         """Initialise both old and cur levels to ``value``."""

@@ -45,9 +45,16 @@ class StepProfile:
     launches_per_sub: float
     halo3_per_step: int
     halo2_per_sub: int
+    #: Launches removed per step by the graph's elementwise-fusion pass
+    #: (flops/bytes are unchanged — fusion only merges launch boundaries).
+    launches_fused_saved: float = 0.0
 
     def launches(self, nsub: int) -> float:
         return self.launches_fixed + self.launches_per_sub * nsub
+
+    def launches_graph(self, nsub: int) -> float:
+        """Launches per replayed step when the graph fusion pass is on."""
+        return max(0.0, self.launches(nsub) - self.launches_fused_saved)
 
 
 #: Frozen measurement (tiny demo config, 4 steps, serial backend); see
@@ -62,6 +69,7 @@ DEFAULT_PROFILE = StepProfile(
     launches_per_sub=2.0,
     halo3_per_step=14,   # 4 momentum + 5 per tracer (diffused field, T*,
     halo2_per_sub=3,     # R+, R-, new) x 2 tracers
+    launches_fused_saved=10.0,  # 6 fused groups; see measure_graph_savings
 )
 
 
@@ -105,6 +113,26 @@ def measure_step_profile(size: str = "tiny", steps: int = 4) -> StepProfile:
     )
 
 
+def measure_graph_savings(size: str = "tiny", steps: int = 3) -> float:
+    """Launches per step removed by graph fusion, measured live.
+
+    Runs the model with step-graph capture enabled and reads the sealed
+    steady-state graph's captured-vs-replayed launch counts — the same
+    introspection the A4 ablation reports.
+    """
+    from ..kokkos import Instrumentation, SerialBackend
+    from ..ocean import LICOMKpp, demo
+    from ..ocean.model import ModelParams
+
+    cfg = demo(size)
+    model = LICOMKpp(cfg, backend=SerialBackend(inst=Instrumentation()),
+                     params=ModelParams(graph=True))
+    model.run_steps(max(2, steps))
+    steady = [g for (startup, _), g in model._graphs.items() if not startup]
+    graph = steady[0] if steady else next(iter(model._graphs.values()))
+    return float(graph.captured_launches - graph.launches_per_replay)
+
+
 def crosscheck_declared_costs(bytes_lo: float = 0.9, bytes_hi: float = 2.0):
     """Static cross-check of the declared kernel costs feeding this model.
 
@@ -138,6 +166,7 @@ def compute_time_per_step(
     points2_per_unit: float,
     nsub: int,
     fortran: bool = False,
+    graph: bool = False,
 ) -> float:
     """Roofline time of one rank's computation for one baroclinic step.
 
@@ -146,6 +175,9 @@ def compute_time_per_step(
     ``max(bytes/BW, flops/peak)`` plus kernel-launch overhead.  The
     ``fortran`` flag models the original LICOM3 baseline: host-only
     execution at the machine's host bandwidth and Fortran efficiency.
+    ``graph`` models step-graph replay with elementwise fusion: the
+    flop/byte work is unchanged, only ``launches_fused_saved`` fewer
+    launch overheads are paid per step.
     """
     if fortran:
         bw = machine.host_bw * machine.host_efficiency
@@ -165,5 +197,6 @@ def compute_time_per_step(
         profile.bytes2_sub * points2_per_unit / bw,
         profile.flops2_sub * points2_per_unit / peak,
     )
-    t_launch = profile.launches(nsub) * machine.launch_overhead
+    launches = profile.launches_graph(nsub) if graph else profile.launches(nsub)
+    t_launch = launches * machine.launch_overhead
     return t3 + t2 + t_launch
