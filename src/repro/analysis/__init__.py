@@ -29,11 +29,14 @@ from .footprint import (
 from .rules import ALL_RULES, RuleConfig, run_rules
 from .runner import (
     DRIVER_MODULES,
+    GLOBAL_ALLOWLIST,
+    GLOBAL_SINGLETONS,
     OCEAN_KERNEL_MODULES,
     LintConfig,
     collect_footprints,
     run_kernelcheck,
     scan_fence_discipline,
+    scan_global_state,
 )
 
 __all__ = [
@@ -41,6 +44,8 @@ __all__ = [
     "Baseline",
     "DRIVER_MODULES",
     "Finding",
+    "GLOBAL_ALLOWLIST",
+    "GLOBAL_SINGLETONS",
     "KernelAnalysis",
     "KernelFootprint",
     "LintConfig",
@@ -56,5 +61,6 @@ __all__ = [
     "run_kernelcheck",
     "run_rules",
     "scan_fence_discipline",
+    "scan_global_state",
     "static_cost",
 ]

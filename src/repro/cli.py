@@ -126,7 +126,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"cannot read baseline {args.baseline!r}: {exc}",
                   file=sys.stderr)
             return 2
-    cfg = LintConfig(baseline=baseline, scan_drivers=not args.no_drivers)
+    cfg = LintConfig(baseline=baseline, scan_drivers=not args.no_drivers,
+                     scan_globals=not args.no_globals)
     report = run_kernelcheck(cfg)
     if args.write_baseline:
         Baseline().save(args.write_baseline, report.unsuppressed)
@@ -202,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
                            "and exit")
     lint.add_argument("--no-drivers", action="store_true",
                       help="skip the host-side fence-discipline scan")
+    lint.add_argument("--no-globals", action="store_true",
+                      help="skip the global-state singleton scan")
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also show suppressed findings")
     lint.set_defaults(func=_cmd_lint)

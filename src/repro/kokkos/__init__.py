@@ -60,6 +60,7 @@ from .registry import (
     DictRegistry,
     LinkedListRegistry,
     RegistryEntry,
+    default_registry,
 )
 from .backends import (
     AthreadBackend,
@@ -82,6 +83,7 @@ from .instrument import (
     WorkspaceStats,
 )
 from .workspace import Workspace, null_workspace
+from .context import ContextRegistry, ExecutionContext, default_context
 from .ldm import DMAEngine, LDMAllocator, SW26010_LDM_BYTES, double_buffered_time
 from .parallel import (
     default_space,
@@ -109,7 +111,9 @@ __all__ = [
     # functors / registry
     "Functor", "kokkos_register_for", "kokkos_register_reduce",
     "register_functor_instance", "GLOBAL_REGISTRY", "LinkedListRegistry",
-    "DictRegistry", "RegistryEntry",
+    "DictRegistry", "RegistryEntry", "default_registry",
+    # execution contexts
+    "ExecutionContext", "ContextRegistry", "default_context",
     # backends
     "ExecutionSpace", "SerialBackend", "OpenMPBackend", "AthreadBackend",
     "DeviceBackend", "make_backend", "Reducer", "Sum", "Prod", "Min", "Max",

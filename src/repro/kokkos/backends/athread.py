@@ -51,7 +51,7 @@ from ..policy import (
     tiles_per_cpe,
     total_tiles,
 )
-from ..registry import GLOBAL_REGISTRY
+from ..registry import default_registry
 from .base import (
     ExecutionSpace,
     LaunchPlan,
@@ -167,7 +167,7 @@ class AthreadBackend(ExecutionSpace):
             raise ValueError("num_cpes must be >= 1")
         self.concurrency = num_cpes
         self.num_cpes = num_cpes
-        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        self.registry = registry if registry is not None else default_registry()
         self.require_registration = require_registration
         self.double_buffer = double_buffer
         self.ldm = [LDMAllocator(ldm_bytes) for _ in range(num_cpes)]

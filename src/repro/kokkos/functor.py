@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence, Tuple
 
-from .registry import GLOBAL_REGISTRY, RegistryEntry
+from .registry import RegistryEntry, default_registry
 
 
 class Functor:
@@ -142,7 +142,7 @@ def kokkos_register_for(name: str, ndim: int, registry=None) -> Callable[[type],
     """
 
     def decorate(functor_type: type) -> type:
-        reg = registry if registry is not None else GLOBAL_REGISTRY
+        reg = registry if registry is not None else default_registry()
         reg.register(
             RegistryEntry(
                 name=name,
@@ -161,7 +161,7 @@ def kokkos_register_reduce(name: str, ndim: int, registry=None) -> Callable[[typ
     """Decorator form of ``KOKKOS_REGISTER_REDUCE_<ndim>D(name, Functor)``."""
 
     def decorate(functor_type: type) -> type:
-        reg = registry if registry is not None else GLOBAL_REGISTRY
+        reg = registry if registry is not None else default_registry()
         reg.register(
             RegistryEntry(
                 name=name,
@@ -180,7 +180,7 @@ def register_functor_instance(
     functor, kind: str, ndim: int, name: Optional[str] = None, registry=None
 ) -> RegistryEntry:
     """Imperatively register ``type(functor)`` (macro call form)."""
-    reg = registry if registry is not None else GLOBAL_REGISTRY
+    reg = registry if registry is not None else default_registry()
     ftype = type(functor)
     return reg.register(
         RegistryEntry(

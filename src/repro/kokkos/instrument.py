@@ -92,8 +92,11 @@ class Instrumentation:
     transfers: TransferLedger = field(default_factory=TransferLedger)
     workspace: WorkspaceStats = field(default_factory=WorkspaceStats)
     enabled: bool = True
-    _ws_lock: threading.Lock = field(default_factory=threading.Lock,
-                                     repr=False, compare=False)
+    # One lock covers every mutating recorder: kernel launches arrive
+    # from concurrently stepping model instances that share a ledger
+    # (the default-context shim), workspace takes from OpenMP tiles.
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def kernel(self, label: str) -> KernelStats:
         """Get (creating if needed) the stats record for ``label``."""
@@ -114,18 +117,19 @@ class Instrumentation:
         """Record one kernel launch touching ``points`` grid points."""
         if not self.enabled:
             return
-        stats = self.kernel(label)
-        stats.launches += 1
-        stats.tiles += tiles
-        stats.points += points
-        stats.flops += flops_per_point * points
-        stats.bytes += bytes_per_point * points
+        with self._lock:
+            stats = self.kernel(label)
+            stats.launches += 1
+            stats.tiles += tiles
+            stats.points += points
+            stats.flops += flops_per_point * points
+            stats.bytes += bytes_per_point * points
 
     def record_workspace_take(self, nbytes: float, allocated: bool) -> None:
         """Record one scratch-arena request (thread-safe: OpenMP tiles)."""
         if not self.enabled:
             return
-        with self._ws_lock:
+        with self._lock:
             ws = self.workspace
             ws.requests += 1
             ws.bytes_served += nbytes
@@ -144,6 +148,41 @@ class Instrumentation:
     @property
     def total_launches(self) -> int:
         return sum(k.launches for k in self.kernels.values())
+
+    @property
+    def total_points(self) -> int:
+        """Grid points visited across all kernels — the per-rank load
+        proxy :func:`repro.perfmodel.aggregate.load_imbalance` uses."""
+        return sum(k.points for k in self.kernels.values())
+
+    def merge_from(self, other: "Instrumentation") -> "Instrumentation":
+        """Accumulate ``other``'s counters into this ledger.
+
+        Used by :func:`repro.perfmodel.aggregate.aggregate` to fold
+        per-rank ledgers into the job-level view (§VI-C); ``other`` is
+        left untouched.
+        """
+        with self._lock:
+            for label, k in other.kernels.items():
+                mine = self.kernel(label)
+                mine.launches += k.launches
+                mine.tiles += k.tiles
+                mine.points += k.points
+                mine.flops += k.flops
+                mine.bytes += k.bytes
+            t, mt = other.transfers, self.transfers
+            mt.h2d_bytes += t.h2d_bytes
+            mt.h2d_count += t.h2d_count
+            mt.d2h_bytes += t.d2h_bytes
+            mt.d2h_count += t.d2h_count
+            mt.dma_bytes += t.dma_bytes
+            mt.dma_count += t.dma_count
+            w, mw = other.workspace, self.workspace
+            mw.requests += w.requests
+            mw.allocations += w.allocations
+            mw.bytes_served += w.bytes_served
+            mw.bytes_allocated += w.bytes_allocated
+        return self
 
     def reset(self) -> None:
         """Clear all statistics (the ledger and arena counters included)."""
@@ -172,5 +211,18 @@ GLOBAL_INSTRUMENTATION = Instrumentation()
 
 
 def get_instrumentation(inst: Optional[Instrumentation] = None) -> Instrumentation:
-    """Return ``inst`` or the process-wide default."""
-    return inst if inst is not None else GLOBAL_INSTRUMENTATION
+    """Resolve ``inst`` to an :class:`Instrumentation`.
+
+    Accepts ``None`` (the process-wide default), an ``Instrumentation``,
+    or any owner exposing one through an ``inst`` attribute — notably an
+    :class:`~repro.kokkos.context.ExecutionContext`, so context-aware
+    call sites (``deep_copy``, ``DualView``, backends) take either form.
+    """
+    if inst is None:
+        return GLOBAL_INSTRUMENTATION
+    if isinstance(inst, Instrumentation):
+        return inst
+    owner = getattr(inst, "inst", None)
+    if isinstance(owner, Instrumentation):
+        return owner
+    return inst

@@ -31,6 +31,7 @@ optimizations target) and wall time are exposed for the benchmarks.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional
 
@@ -112,6 +113,10 @@ class LinkedListRegistry:
         self._packed_dirty = True
         self._hash_array = np.empty(0, dtype=np.int64)
         self._entry_list: List[RegistryEntry] = []
+        # register/lookup mutate shared structure (LRU cache order, the
+        # packed hash array, comparison counters); contexts on different
+        # threads may share one registry through the default shim
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._size
@@ -124,17 +129,18 @@ class LinkedListRegistry:
         Re-registering the same functor type replaces the old entry, so
         repeated imports are idempotent.
         """
-        node = self._head
-        while node is not None:
-            if node.entry.key == entry.key:
-                node.entry = entry
-                break
-            node = node.next
-        else:
-            self._head = _Node(entry, self._head)
-            self._size += 1
-        self._packed_dirty = True
-        self._cache = [e for e in self._cache if e.key != entry.key]
+        with self._lock:
+            node = self._head
+            while node is not None:
+                if node.entry.key == entry.key:
+                    node.entry = entry
+                    break
+                node = node.next
+            else:
+                self._head = _Node(entry, self._head)
+                self._size += 1
+            self._packed_dirty = True
+            self._cache = [e for e in self._cache if e.key != entry.key]
         return entry
 
     def entries(self) -> List[RegistryEntry]:
@@ -200,19 +206,20 @@ class LinkedListRegistry:
             When the functor was never registered — the same failure a
             real Athread launch of an unregistered template functor hits.
         """
-        if self.ldm_cache:
-            hit = self._cache_probe(functor_type)
-            if hit is not None:
-                return hit
-        entry = self._scan(functor_type)
-        if entry is None:
-            raise RegistrationError(
-                f"functor {functor_type.__name__!r} is not registered for the "
-                "Athread backend; add @kokkos_register_for(...)"
-            )
-        if self.ldm_cache:
-            self._cache_insert(entry)
-        return entry
+        with self._lock:
+            if self.ldm_cache:
+                hit = self._cache_probe(functor_type)
+                if hit is not None:
+                    return hit
+            entry = self._scan(functor_type)
+            if entry is None:
+                raise RegistrationError(
+                    f"functor {functor_type.__name__!r} is not registered for "
+                    "the Athread backend; add @kokkos_register_for(...)"
+                )
+            if self.ldm_cache:
+                self._cache_insert(entry)
+            return entry
 
     def contains(self, functor_type: type) -> bool:
         try:
@@ -222,11 +229,12 @@ class LinkedListRegistry:
             return False
 
     def clear(self) -> None:
-        self._head = None
-        self._size = 0
-        self.comparisons = 0
-        self._cache.clear()
-        self._packed_dirty = True
+        with self._lock:
+            self._head = None
+            self._size = 0
+            self.comparisons = 0
+            self._cache.clear()
+            self._packed_dirty = True
 
 
 class DictRegistry:
@@ -267,3 +275,16 @@ class DictRegistry:
 #: The process-wide registry consulted by the Athread backend.  Uses the
 #: paper's configuration: linked list + LDM hot-entry cache + SIMD match.
 GLOBAL_REGISTRY = LinkedListRegistry(ldm_cache=True, simd_width=8)
+
+
+def default_registry() -> LinkedListRegistry:
+    """The process-wide registration table.
+
+    ``@kokkos_register_for`` decorators at import time land here, and a
+    :class:`~repro.kokkos.context.ContextRegistry` falls back to it on a
+    local miss.  Library code should reach the table through this
+    accessor (or a context's ``.registry``) rather than naming the
+    ``GLOBAL_REGISTRY`` singleton — the ``global-state`` kernelcheck
+    rule enforces that.
+    """
+    return GLOBAL_REGISTRY

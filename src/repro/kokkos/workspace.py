@@ -17,8 +17,13 @@ Contract
   through ``out=``-style ufunc calls.
 * Buffers are only valid until the next ``take`` with the same key —
   within one apply body use distinct keys for live temporaries.
-* Pools are **thread-local**, so concurrent tiles of the same functor on
-  the OpenMP backend never share a buffer.
+* Pools are **per thread**, so concurrent tiles of the same functor on
+  the OpenMP backend never share a buffer.  Unlike the historical
+  ``threading.local`` pools, the per-thread pools are held in an
+  ordinary dict keyed by thread id so the *owner* can enumerate and
+  drop them: :meth:`release` frees every pool at once, and an
+  :class:`~repro.kokkos.context.ExecutionContext` calls it from
+  ``close()`` so SimWorld rank arenas never outlive their rank.
 
 Every ``take`` is counted in :class:`~.instrument.Instrumentation`
 (``requests`` vs actual ``allocations``), which is how the benchmark
@@ -39,13 +44,6 @@ from .instrument import Instrumentation, get_instrumentation
 ShapeLike = Union[int, Tuple[int, ...]]
 
 
-class _ThreadPools(threading.local):
-    """Per-thread pool dict, created on first touch from each thread."""
-
-    def __init__(self) -> None:
-        self.pool: Dict[tuple, np.ndarray] = {}
-
-
 class Workspace:
     """Arena of reusable scratch arrays keyed by ``(key, shape, dtype)``."""
 
@@ -53,10 +51,22 @@ class Workspace:
                  inst: Optional[Instrumentation] = None) -> None:
         self.enabled = enabled
         self.inst = get_instrumentation(inst)
-        self._tls = _ThreadPools()
+        # thread id -> pool.  Kept in a plain dict (not threading.local)
+        # so release() can drop buffers owned by threads that no longer
+        # exist — SimWorld rank threads die after every run, and
+        # thread-local pools used to pin their arenas until the
+        # Workspace itself was collected.
+        self._pools: Dict[int, Dict[tuple, np.ndarray]] = {}
+        self._pools_lock = threading.Lock()
+        self._released = False
 
     def _pool(self) -> Dict[tuple, np.ndarray]:
-        return self._tls.pool
+        ident = threading.get_ident()
+        pool = self._pools.get(ident)
+        if pool is None:
+            with self._pools_lock:
+                pool = self._pools.setdefault(ident, {})
+        return pool
 
     def take(self, key: str, shape: ShapeLike, dtype=np.float64,
              fill=None) -> np.ndarray:
@@ -74,11 +84,11 @@ class Workspace:
         if type(shape) is not tuple:
             shape = (int(shape),) if isinstance(shape, (int, np.integer)) \
                 else tuple(shape)
-        if not self.enabled:
+        if not self.enabled or self._released:
             arr = np.empty(shape, np.dtype(dtype))
             self.inst.record_workspace_take(arr.nbytes, allocated=True)
         else:
-            pool = self._tls.pool
+            pool = self._pool()
             arr = pool.get((key, shape, dtype))
             if arr is None:
                 arr = pool[(key, shape, dtype)] = np.empty(shape,
@@ -96,21 +106,42 @@ class Workspace:
 
     def clear(self) -> None:
         """Drop this thread's pooled buffers (tests / memory pressure)."""
-        self._tls.pool = {}
+        with self._pools_lock:
+            self._pools.pop(threading.get_ident(), None)
 
+    def release(self) -> None:
+        """Drop *every* thread's pooled buffers and stop pooling.
 
-_NULL_WORKSPACE: Optional[Workspace] = None
+        Called by the owning context's ``close()``.  Subsequent takes
+        still work (eager allocation, identical numerics) so teardown
+        order between a context and stragglers using its domain never
+        matters; they just stop being cached.
+        """
+        with self._pools_lock:
+            self._pools.clear()
+            self._released = True
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def pooled_nbytes(self) -> int:
+        """Total bytes currently held across all thread pools."""
+        with self._pools_lock:
+            return sum(arr.nbytes for pool in self._pools.values()
+                       for arr in pool.values())
 
 
 def null_workspace() -> Workspace:
-    """Process-wide disabled workspace: the eager-allocation fallback.
+    """The default context's disabled workspace (deprecated shim).
 
     Kernels reach their workspace through ``LocalDomain.scratch()``;
-    when no model wired an arena in, this singleton keeps the rewritten
-    ``out=`` bodies working with per-call allocations (bitwise identical
-    numerics, counted against the global instrumentation).
+    when no model wired an arena in, this keeps the rewritten ``out=``
+    bodies working with per-call allocations (bitwise identical
+    numerics, counted against the default context's instrumentation).
+    New code should use ``context.null_workspace`` instead so the
+    counts land in the owning rank's ledger.
     """
-    global _NULL_WORKSPACE
-    if _NULL_WORKSPACE is None:
-        _NULL_WORKSPACE = Workspace(enabled=False)
-    return _NULL_WORKSPACE
+    from .context import default_context
+
+    return default_context().null_workspace

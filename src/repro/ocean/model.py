@@ -31,18 +31,17 @@ import numpy as np
 
 from ..errors import StabilityError
 from ..kokkos import (
+    ExecutionContext,
     ExecutionSpace,
     LaunchGraph,
     MDRangePolicy,
     View,
-    Workspace,
     kokkos_register_for,
     make_backend,
 )
 from ..parallel.comm import SimComm, SingleComm
 from ..parallel.decomp import BlockDecomposition
 from ..parallel.halo import HaloUpdater
-from ..timing import TimerRegistry
 from .config import ModelConfig
 from .forcing import ForcingParams, make_forcing
 from .grid import Grid, make_grid
@@ -114,7 +113,15 @@ class LICOMKpp:
         Grid sizes and time steps (:mod:`repro.ocean.config`).
     backend:
         Execution-space name (``serial``/``openmp``/``athread``/``cuda``/
-        ``hip``) or an already-built :class:`ExecutionSpace`.
+        ``hip``), an already-built :class:`ExecutionSpace`, or an
+        :class:`ExecutionContext` (equivalent to passing ``context=``).
+    context:
+        The :class:`ExecutionContext` owning this rank's backend,
+        instrumentation, workspace arena, graph cache and timers.  When
+        omitted: a single-rank model adopts a backend recording into the
+        process-wide ledger (exact pre-context behaviour), while a
+        multi-rank model (``comm.size > 1``) gets a private context per
+        rank so SimWorld runs report true per-rank statistics.
     comm / decomp:
         Simulated-MPI endpoint and decomposition; default single rank.
     flat_bottom:
@@ -132,18 +139,35 @@ class LICOMKpp:
         topo: Optional[Topography] = None,
         flat_bottom: bool = False,
         seed: int = 2024,
+        context: Optional[ExecutionContext] = None,
     ) -> None:
         self.config = config
         self.params = params or ModelParams()
-        self.space: ExecutionSpace = (
-            backend if isinstance(backend, ExecutionSpace) else make_backend(backend)
-        )
         self.comm = comm if comm is not None else SingleComm()
+        if context is None and isinstance(backend, ExecutionContext):
+            context = backend
+        if context is None:
+            if isinstance(backend, ExecutionSpace):
+                context = ExecutionContext.adopt(backend, rank=self.comm.rank)
+            elif self.comm.size > 1:
+                # one private context per rank: disjoint ledgers, arenas
+                # and graph caches — true per-rank statistics (§VI-C)
+                context = ExecutionContext(backend, rank=self.comm.rank)
+            else:
+                # single rank, named backend: adopt a default-built
+                # space so counters land in the process-wide ledger
+                # exactly as before contexts existed
+                context = ExecutionContext.adopt(
+                    make_backend(backend), rank=self.comm.rank,
+                    owns_space=True)
+        self.context = context
+        self.space: ExecutionSpace = context.space
+        context.attach_comm(self.comm)
         self.decomp = decomp if decomp is not None else BlockDecomposition(
             config.ny, config.nx, 1, 1
         )
         self.rank = self.comm.rank
-        self.timers = TimerRegistry()
+        self.timers = context.timers
 
         # full-depth grids bottom out exactly at the paper's 10,905 m
         # maximum topography, so the trench column activates every level
@@ -161,8 +185,9 @@ class LICOMKpp:
         )
         d = self.domain
         # scratch arena the kernel apply bodies draw temporaries from;
-        # disabled => fresh allocation per request, identical numerics
-        d.workspace = Workspace(enabled=self.params.arena, inst=self.space.inst)
+        # disabled => fresh allocation per request, identical numerics.
+        # Owned by the context: released (all threads' pools) on close.
+        d.workspace = self.context.make_workspace(enabled=self.params.arena)
         if self.params.precision not in ("double", "single"):
             raise ValueError(
                 f"precision must be 'double' or 'single', got "
@@ -236,8 +261,10 @@ class LICOMKpp:
         # graphs are keyed by the step variant they recorded (first step
         # uses dt2 = dt; canuto may be intermittent); each sealed graph
         # carries the binding signature it captured under and is dropped
-        # when the signature no longer matches (re-capture).
-        self._graphs: Dict[tuple, LaunchGraph] = {}
+        # when the signature no longer matches (re-capture).  The dict
+        # lives in the context's graph cache so close() drops the plans.
+        self._graphs: Dict[tuple, LaunchGraph] = \
+            self.context.graph_cache.setdefault(("licomkpp", id(self)), {})
         self._capture: Optional[LaunchGraph] = None
         self._graph_captures = 0
 
@@ -253,6 +280,15 @@ class LICOMKpp:
         self.p_int2g = MDRangePolicy([(h - 1, d.ly - h + 1), (h - 1, d.lx - h + 1)])
 
         self._initialize_state()
+
+    def close(self) -> None:
+        """Release this rank's context-owned resources (arena, graphs).
+
+        Multi-rank programs call this before returning from their
+        SimWorld rank thread so no arena outlives the rank; the ledgers
+        stay readable for aggregation.
+        """
+        self.context.close()
 
     # ------------------------------------------------------------------
     # setup

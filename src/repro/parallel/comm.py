@@ -317,6 +317,14 @@ class SimComm:
         self.world = world
         self.rank = rank
         self._coll_seq = 0
+        #: Optional per-rank traffic ledger.  The world's shared ledger
+        #: always records every message; when an
+        #: :class:`~repro.kokkos.context.ExecutionContext` attaches one
+        #: here (``context.attach_comm``), this rank's sends and
+        #: collective participations are *also* recorded per rank — the
+        #: separable per-rank statistics the paper's job-level
+        #: monitoring provides (§VI-C).
+        self.ledger: Optional[TrafficLedger] = None
 
     @property
     def size(self) -> int:
@@ -325,6 +333,15 @@ class SimComm:
     def _next_seq(self) -> int:
         self._coll_seq += 1
         return self._coll_seq
+
+    def _collective(self, name: str, value: Any,
+                    combine: Callable[[List[Any]], Any]) -> Any:
+        """Run one collective, counting it in the per-rank ledger too."""
+        result = self.world._collective(name, self._next_seq(), self.rank,
+                                        value, combine)
+        if self.ledger is not None:
+            self.ledger.collectives += 1
+        return result
 
     # -- point to point ----------------------------------------------------
 
@@ -342,6 +359,8 @@ class SimComm:
             raise CommunicationError(f"send to invalid rank {dest}")
         nbytes = _payload_nbytes(obj)
         self.world.traffic.record(self.rank, dest, nbytes, phase=phase)
+        if self.ledger is not None:
+            self.ledger.record(self.rank, dest, nbytes, phase=phase)
         payload = obj if move else _copy_payload(obj)
         self.world._box(self.rank, dest, tag).put(payload)
 
@@ -378,16 +397,14 @@ class SimComm:
     # -- collectives ---------------------------------------------------------
 
     def barrier(self) -> None:
-        self.world._collective("barrier", self._next_seq(), self.rank, None,
-                               lambda vs: None)
+        self._collective("barrier", None, lambda vs: None)
 
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         """Elementwise reduction over all ranks, combined in rank order."""
         def combine(values: List[Any]) -> Any:
             return _reduce_values(values, op)
 
-        return self.world._collective(f"allreduce_{op}", self._next_seq(),
-                                      self.rank, value, combine)
+        return self._collective(f"allreduce_{op}", value, combine)
 
     def reduce(self, value: Any, op: str = "sum", root: int = 0) -> Any:
         result = self.allreduce(value, op)
@@ -397,13 +414,11 @@ class SimComm:
         def combine(values: List[Any]) -> Any:
             return _copy_payload(values[root][1])
 
-        return self.world._collective("bcast", self._next_seq(), self.rank,
-                                      (self.rank == root, obj), combine)
+        return self._collective("bcast", (self.rank == root, obj), combine)
 
     def allgather(self, obj: Any) -> List[Any]:
-        return self.world._collective(
-            "allgather", self._next_seq(), self.rank, obj,
-            lambda vs: [_copy_payload(v) for v in vs],
+        return self._collective(
+            "allgather", obj, lambda vs: [_copy_payload(v) for v in vs],
         )
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
@@ -419,9 +434,8 @@ class SimComm:
                 )
             return [_copy_payload(x) for x in send]
 
-        result = self.world._collective(
-            "scatter", self._next_seq(), self.rank,
-            objs if self.rank == root else None, combine,
+        result = self._collective(
+            "scatter", objs if self.rank == root else None, combine,
         )
         return result[self.rank]
 

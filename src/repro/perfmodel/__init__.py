@@ -12,6 +12,13 @@ from .network import (
     ledger_wire_time,
     polar_fixed_cost,
 )
+from .aggregate import (
+    aggregate,
+    decomposition_load_imbalance,
+    load_imbalance,
+    measured_load_imbalance,
+    rank_points,
+)
 from .breakdown import StepBreakdown, format_breakdown_table, step_breakdown
 from .cpe_pipeline import PipelineEstimate, cpe_pipeline_time, double_buffer_speedup
 from .related_work import RELATED_WORK, RelatedWorkPoint, kilometer_scale_realistic_leaders
@@ -39,6 +46,8 @@ __all__ = [
     "StepProfile", "DEFAULT_PROFILE", "measure_step_profile", "compute_time_per_step",
     "HaloCost", "halo_update_cost", "comm_time_per_step", "polar_fixed_cost",
     "block_extents", "HALO", "ledger_wire_time", "ledger_message_summary",
+    "aggregate", "rank_points", "load_imbalance", "measured_load_imbalance",
+    "decomposition_load_imbalance",
     "predict_sypd", "predict_step_time", "sypd_from_step_time",
     "strong_scaling", "weak_scaling", "ScalingPoint",
     "portability_sypd", "optimization_speedup", "CANUTO_IMBALANCE",

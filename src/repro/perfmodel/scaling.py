@@ -35,6 +35,7 @@ def predict_step_time(
     profile: StepProfile = DEFAULT_PROFILE,
     precision: str = "double",
     aggregation: float = 1.0,
+    rank_imbalance: float = 1.0,
 ) -> float:
     """Wall seconds per baroclinic step on ``units`` ranks (slowest rank).
 
@@ -47,12 +48,27 @@ def predict_step_time(
     measured from a fused run's TrafficLedger (per-field messages /
     fused messages).  It divides the per-message latency term only;
     volume is unchanged.
+
+    ``rank_imbalance`` (>= 1) is the measured per-rank load imbalance
+    (``max/mean`` grid points, from
+    :func:`repro.perfmodel.aggregate.measured_load_imbalance` on real
+    per-rank ledgers or
+    :func:`~repro.perfmodel.aggregate.decomposition_load_imbalance`
+    from a decomposition's ocean-point counts).  The slowest rank does
+    that much more compute, so it scales the compute term; 1.0 —
+    perfectly balanced ranks — reproduces the balanced prediction
+    exactly.  This is orthogonal to the Canuto-specific ``optimized``
+    inflation, which prices the *vertical-mixing* imbalance inside the
+    communication model.
     """
     machine = get_machine(machine) if isinstance(machine, str) else machine
     if units < 1:
         raise ValueError("need at least one compute unit")
     if precision not in ("double", "single"):
         raise ValueError(f"precision must be double/single, got {precision!r}")
+    if rank_imbalance < 1.0:
+        raise ValueError(
+            f"rank_imbalance is max/mean and must be >= 1, got {rank_imbalance}")
     word = 8.0 if precision == "double" else 4.0
     if precision == "single":
         from dataclasses import replace as _replace
@@ -63,6 +79,7 @@ def predict_step_time(
     n2 = cfg.horizontal_points / units
     nsub = cfg.barotropic_substeps
     t_comp = compute_time_per_step(profile, machine, n3, n2, nsub, fortran=fortran)
+    t_comp *= rank_imbalance
     lb = 1.0 if optimized else CANUTO_IMBALANCE
     t_comm = comm_time_per_step(
         machine,
@@ -97,12 +114,14 @@ def predict_sypd(
     profile: StepProfile = DEFAULT_PROFILE,
     precision: str = "double",
     aggregation: float = 1.0,
+    rank_imbalance: float = 1.0,
 ) -> float:
     """End-to-end SYPD prediction."""
     m = get_machine(machine) if isinstance(machine, str) else machine
     return sypd_from_step_time(
         cfg, predict_step_time(cfg, m, units, optimized, fortran, profile,
-                               precision=precision, aggregation=aggregation)
+                               precision=precision, aggregation=aggregation,
+                               rank_imbalance=rank_imbalance)
     )
 
 

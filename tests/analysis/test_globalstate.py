@@ -1,0 +1,87 @@
+"""The global-state rule: library code may not read the GLOBAL_* singletons."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import (
+    ALL_RULES,
+    GLOBAL_ALLOWLIST,
+    GLOBAL_SINGLETONS,
+    LintConfig,
+    run_kernelcheck,
+    scan_global_state,
+)
+from repro.analysis.rules import RULE_GLOBAL
+
+
+def _write(tmp_path, name, body):
+    path = tmp_path / f"{name}.py"
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+class TestRepoIsClean:
+    def test_library_scan_finds_nothing(self):
+        assert scan_global_state() == []
+
+    def test_rule_is_registered(self):
+        assert RULE_GLOBAL == "global-state"
+        assert RULE_GLOBAL in ALL_RULES
+
+    def test_lint_run_includes_the_rule_and_stays_green(self):
+        report = run_kernelcheck(LintConfig())
+        assert report.ok
+        assert RULE_GLOBAL in report.rules_run
+
+    def test_singleton_roster(self):
+        assert set(GLOBAL_SINGLETONS) == {
+            "GLOBAL_INSTRUMENTATION", "GLOBAL_REGISTRY", "GLOBAL_TIMERS"}
+        # the shim and the homes of the singletons are the only excuses
+        assert "repro.kokkos.context" in GLOBAL_ALLOWLIST
+
+
+class TestDetection:
+    def test_flags_import_name_and_attribute_refs(self, tmp_path):
+        offender = _write(tmp_path, "sneaky", """\
+            from repro.kokkos.instrument import GLOBAL_INSTRUMENTATION
+
+            import repro.kokkos.registry as registry
+
+
+            def peek():
+                GLOBAL_INSTRUMENTATION.record_launch("k", points=1)
+                return registry.GLOBAL_REGISTRY
+            """)
+        findings = scan_global_state(sources=[("repro.fake.sneaky", offender)])
+        assert len(findings) == 3
+        assert {f.rule for f in findings} == {RULE_GLOBAL}
+        assert sorted(f.view for f in findings) == [
+            "GLOBAL_INSTRUMENTATION",       # the import itself
+            "GLOBAL_INSTRUMENTATION",       # the call site
+            "GLOBAL_REGISTRY",              # the attribute read
+        ]
+        assert all(f.kernel == "repro.fake.sneaky" for f in findings)
+        assert all(f.line and f.file for f in findings)
+
+    def test_allowlisted_module_is_skipped(self, tmp_path):
+        offender = _write(tmp_path, "shim", """\
+            from repro.kokkos.instrument import GLOBAL_INSTRUMENTATION
+            """)
+        assert scan_global_state(
+            sources=[("repro.kokkos.context", offender)]) == []
+
+    def test_clean_module_yields_nothing(self, tmp_path):
+        clean = _write(tmp_path, "clean", """\
+            from repro.kokkos import default_context, default_registry
+
+
+            def fine(context=None):
+                ctx = context if context is not None else default_context()
+                return ctx.inst, default_registry()
+            """)
+        assert scan_global_state(sources=[("repro.fake.clean", clean)]) == []
+
+    def test_no_globals_flag_skips_the_scan(self, tmp_path):
+        report = run_kernelcheck(LintConfig(scan_globals=False))
+        assert RULE_GLOBAL not in report.rules_run
