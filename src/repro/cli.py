@@ -14,6 +14,11 @@ Commands
 ``lint``
     Static analysis of every registered kernel (kernelcheck):
     ``python -m repro lint [--format json] [--baseline file]``.
+``trace``
+    Step a small model with span tracing on and export a Chrome
+    trace-event JSON timeline (open in Perfetto / ``chrome://tracing``):
+    ``python -m repro trace --size tiny --steps 2 --ranks 2 --out
+    trace.json [--predict new_sunway]``.
 """
 
 from __future__ import annotations
@@ -145,6 +150,58 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .ocean import LICOMKpp, ModelParams, demo
+    from .trace import (
+        chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_predicted_timeline,
+    )
+
+    cfg = demo(args.size)
+    params = ModelParams(trace=True, graph=args.graph)
+    tracers = []
+    if args.ranks <= 1:
+        model = LICOMKpp(cfg, backend=args.backend, params=params)
+        model.run_steps(args.steps)
+        tracers.append(model.context.tracer)
+        model.close()
+    else:
+        from .parallel import BlockDecomposition, SimWorld
+
+        d = BlockDecomposition(cfg.ny, cfg.nx, args.ranks, 1)
+
+        def prog(comm):
+            m = LICOMKpp(cfg, backend=args.backend, comm=comm, decomp=d,
+                         params=params)
+            m.run_steps(args.steps)
+            ctx = m.context
+            m.close()
+            return ctx
+
+        tracers = [ctx.tracer for ctx in SimWorld.run(prog, d.size)]
+
+    trace = chrome_trace(tracers)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for p in problems[:20]:
+            print(f"schema error: {p}", file=sys.stderr)
+        return 1
+    path = write_chrome_trace(args.out, tracers)
+    nspans = sum(len(t.closed_spans()) for t in tracers)
+    ninst = sum(len(t.instants) for t in tracers)
+    print(f"{path}: {len(trace['traceEvents'])} events "
+          f"({nspans} spans, {ninst} instants, {len(tracers)} rank lane(s)) "
+          f"— open at https://ui.perfetto.dev")
+    if args.predict:
+        pout = args.predict_out or str(path).replace(
+            ".json", f".predicted-{args.predict}.json")
+        ppath = write_predicted_timeline(pout, tracers, args.predict)
+        print(f"{ppath}: predicted timeline for {args.predict}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .experiments import tables
     from .ocean.config import PAPER_CONFIGS
@@ -208,6 +265,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also show suppressed findings")
     lint.set_defaults(func=_cmd_lint)
+
+    tr = sub.add_parser(
+        "trace", help="step a small model and export a Chrome trace timeline")
+    tr.add_argument("--size", default="tiny",
+                    choices=["tiny", "small", "medium", "large"])
+    tr.add_argument("--steps", type=int, default=2,
+                    help="baroclinic steps to record")
+    tr.add_argument("--backend", default="serial",
+                    choices=["serial", "openmp", "athread", "cuda", "hip"])
+    tr.add_argument("--ranks", type=int, default=1,
+                    help="SimWorld ranks (one trace lane group per rank)")
+    tr.add_argument("--graph", action="store_true",
+                    help="capture/replay the step graph while tracing")
+    tr.add_argument("--out", default="trace.json",
+                    help="output path for the Chrome trace-event JSON")
+    tr.add_argument("--predict", default=None,
+                    choices=["gpu_workstation", "orise", "new_sunway", "taishan"],
+                    help="also write a perfmodel-predicted timeline for "
+                         "this machine")
+    tr.add_argument("--predict-out", default=None,
+                    help="output path for the predicted timeline")
+    tr.set_defaults(func=_cmd_trace)
     return parser
 
 

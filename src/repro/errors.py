@@ -60,6 +60,10 @@ class CommunicationError(ParallelError):
     """A simulated-MPI communication call was used incorrectly."""
 
 
+class TraceError(ReproError):
+    """A span tracer was used out of protocol (unbalanced begin/end)."""
+
+
 class PerfModelError(ReproError):
     """Base class for errors from the machine performance model."""
 

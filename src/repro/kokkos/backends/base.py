@@ -85,6 +85,10 @@ class ExecutionSpace:
 
     def __init__(self, inst: Optional[Instrumentation] = None) -> None:
         self.inst = get_instrumentation(inst)
+        #: Optional :class:`repro.trace.Tracer` wired in by the owning
+        #: :class:`~repro.kokkos.context.ExecutionContext`; every launch
+        #: becomes a ``kernel`` span while it is enabled.
+        self.tracer = None
 
     # -- required API ------------------------------------------------------
 
@@ -115,7 +119,15 @@ class ExecutionSpace:
 
     def parallel_for(self, label: str, policy, functor) -> None:
         """Execute ``functor`` over ``policy`` (normalised)."""
-        self.run_for(label, as_md(policy), functor)
+        md = as_md(policy)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            flops, nbytes = functor_cost(functor)
+            with tr.span(label, cat="kernel", points=md.size,
+                         flops=flops * md.size, bytes=nbytes * md.size):
+                self.run_for(label, md, functor)
+        else:
+            self.run_for(label, md, functor)
 
     # -- cached launch plans (graph replay) --------------------------------
 
@@ -133,11 +145,31 @@ class ExecutionSpace:
 
     def run_plan(self, plan: "LaunchPlan") -> None:
         """Execute a plan produced by :meth:`prepare_plan`."""
-        plan.run()
+        tr = self.tracer
+        if tr is None or not tr.enabled:
+            plan.run()
+            return
+        args = {"points": plan._points,
+                "flops": plan._flops * plan._points,
+                "bytes": plan._bytes * plan._points}
+        labels = getattr(plan.functor, "labels", None)
+        if labels:
+            # a fused sweep replays as ONE launch: one span, with the
+            # constituent kernel labels in the payload
+            args["fused"] = list(labels)
+        with tr.span(plan.label, cat="kernel", **args):
+            plan.run()
 
     def parallel_reduce(self, label: str, policy, functor, reducer: Reducer = Sum):
         """Reduce ``functor`` contributions over ``policy``."""
-        return self.run_reduce(label, as_md(policy), functor, reducer)
+        md = as_md(policy)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            flops, nbytes = functor_cost(functor)
+            with tr.span(label, cat="kernel", points=md.size,
+                         flops=flops * md.size, bytes=nbytes * md.size):
+                return self.run_reduce(label, md, functor, reducer)
+        return self.run_reduce(label, md, functor, reducer)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(concurrency={self.concurrency})"

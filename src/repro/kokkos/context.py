@@ -46,6 +46,7 @@ import threading
 from typing import Dict, List, Optional
 
 from ..timing import TimerRegistry
+from ..trace import Tracer
 from .backends import ExecutionSpace, make_backend
 from .instrument import GLOBAL_INSTRUMENTATION, Instrumentation
 from .registry import GLOBAL_REGISTRY, LinkedListRegistry, RegistryEntry
@@ -94,10 +95,12 @@ class ExecutionContext:
         as-is, keeping its instrumentation), or ``None`` — in which
         case ``.space`` resolves lazily to the process default space
         (the :func:`default_context` shim configuration).
-    inst / registry / timers:
+    inst / registry / timers / tracer:
         Override the freshly-created per-context instances.
     rank:
         The owning rank (labels ledgers in multi-rank aggregation).
+    trace:
+        Enable span tracing immediately (see :meth:`enable_tracing`).
     backend_kwargs:
         Forwarded to :func:`make_backend` for named backends.
     """
@@ -111,14 +114,20 @@ class ExecutionContext:
         inst: Optional[Instrumentation] = None,
         registry: Optional[LinkedListRegistry] = None,
         timers: Optional[TimerRegistry] = None,
+        tracer: Optional[Tracer] = None,
         rank: int = 0,
         name: Optional[str] = None,
+        trace: bool = False,
         **backend_kwargs,
     ) -> None:
         self.rank = int(rank)
         self.name = name if name is not None else f"ctx{next(self._ids)}"
         self.registry = registry if registry is not None else ContextRegistry()
         self.timers = timers if timers is not None else TimerRegistry()
+        #: Per-rank span tracer (disabled — and free — until
+        #: :meth:`enable_tracing` wires it into the owned recorders).
+        self.tracer = tracer if tracer is not None else Tracer(
+            rank=self.rank, name=f"{self.name} (rank {self.rank})")
         #: graph/launch-plan cache: scope key -> {variant key -> graph}
         self.graph_cache: Dict[object, dict] = {}
         self.closed = False
@@ -140,6 +149,36 @@ class ExecutionContext:
                 kwargs.setdefault("registry", self.registry)
             self._space = make_backend(backend, inst=self.inst, **kwargs)
             self._owns_space = True
+        if trace:
+            self.enable_tracing()
+
+    # -- tracing -------------------------------------------------------------
+
+    def enable_tracing(self) -> Tracer:
+        """Switch span tracing on and wire the tracer into every owned
+        recorder: the backend dispatch path (kernel spans), the GPTL
+        timers (step/phase spans), the host<->device transfer ledger and
+        the Athread DMA engine (instant events).  Idempotent; the
+        dispatch path keeps its zero-overhead guard while disabled.
+
+        A context built with ``backend=None`` (the default-context shim)
+        wires only its timers and ledger — the process default space is
+        shared and stays untraced.
+        """
+        tr = self.tracer
+        tr.enabled = True
+        self.timers.tracer = tr
+        self.inst.transfers.tracer = tr
+        if self._space is not None:
+            self._space.tracer = tr
+            dma = getattr(self._space, "dma", None)
+            if dma is not None:
+                dma.tracer = tr
+        return tr
+
+    def disable_tracing(self) -> None:
+        """Stop recording (hooks stay wired; re-enable is one flag)."""
+        self.tracer.enabled = False
 
     # -- ownership accessors -----------------------------------------------
 
@@ -194,9 +233,12 @@ class ExecutionContext:
         return self._null_ws
 
     def attach_comm(self, comm) -> None:
-        """Point ``comm``'s per-rank ledger at this context's traffic."""
+        """Point ``comm``'s per-rank ledger at this context's traffic
+        and its tracer at this context's timeline."""
         if getattr(comm, "ledger", None) is None:
             comm.ledger = self.traffic
+        if getattr(comm, "tracer", None) is None:
+            comm.tracer = self.tracer
 
     # -- lifecycle -----------------------------------------------------------
 

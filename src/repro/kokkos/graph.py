@@ -32,11 +32,16 @@ on the GPU) instead of N.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from .backends.base import ExecutionSpace, apply_tile
 from .functor import kokkos_register_for
 from .policy import MDRangePolicy, as_md
+
+#: Shared no-op context: the traced paths allocate nothing when tracing
+#: is off, keeping graph replay dispatch at its measured cost.
+_NO_SPAN = nullcontext()
 
 
 @kokkos_register_for("fused_elementwise", ndim=3)
@@ -165,16 +170,23 @@ class LaunchGraph:
 
     # -- seal / replay -----------------------------------------------------
 
+    def _span(self, name: str, **args):
+        tr = getattr(self.space, "tracer", None)
+        if tr is not None and tr.enabled:
+            return tr.span(name, cat="graph", **args)
+        return _NO_SPAN
+
     def seal(self) -> "LaunchGraph":
         """Fuse compatible launches and prepare per-backend plans."""
         if self.sealed:
             return self
-        if self.fuse:
-            self.nodes = self._fuse_nodes(self.nodes)
-        for node in self.nodes:
-            if isinstance(node, KernelNode):
-                node.plan = self.space.prepare_plan(
-                    node.label, node.policy, node.functor)
+        with self._span("graph_seal", captured=self.captured_launches):
+            if self.fuse:
+                self.nodes = self._fuse_nodes(self.nodes)
+            for node in self.nodes:
+                if isinstance(node, KernelNode):
+                    node.plan = self.space.prepare_plan(
+                        node.label, node.policy, node.functor)
         self.sealed = True
         return self
 
@@ -182,12 +194,14 @@ class LaunchGraph:
         """Re-execute the captured step through the cached plans."""
         if not self.sealed:
             raise RuntimeError("seal() the LaunchGraph before replay()")
-        run_plan = self.space.run_plan
-        for node in self.nodes:
-            if isinstance(node, KernelNode):
-                run_plan(node.plan)
-            else:
-                node.fn()
+        with self._span("graph_replay", launches=self.launches_per_replay,
+                        fused_groups=self.fused_groups):
+            run_plan = self.space.run_plan
+            for node in self.nodes:
+                if isinstance(node, KernelNode):
+                    run_plan(node.plan)
+                else:
+                    node.fn()
         self.replays += 1
 
     # -- introspection -----------------------------------------------------

@@ -39,7 +39,13 @@ class KernelStats:
 
 @dataclass
 class TransferLedger:
-    """Bytes moved across memory-space boundaries."""
+    """Bytes moved across memory-space boundaries.
+
+    ``tracer`` is an optional :class:`repro.trace.Tracer` (wired in by
+    the owning :class:`~repro.kokkos.context.ExecutionContext`); while
+    it is enabled, every recorded transfer also lands on the timeline
+    as an instant event carrying its byte count.
+    """
 
     h2d_bytes: float = 0.0
     h2d_count: int = 0
@@ -47,18 +53,28 @@ class TransferLedger:
     d2h_count: int = 0
     dma_bytes: float = 0.0
     dma_count: int = 0
+    tracer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def record_h2d(self, nbytes: float) -> None:
         self.h2d_bytes += nbytes
         self.h2d_count += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("H2D", cat="xfer", bytes=float(nbytes))
 
     def record_d2h(self, nbytes: float) -> None:
         self.d2h_bytes += nbytes
         self.d2h_count += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("D2H", cat="xfer", bytes=float(nbytes))
 
     def record_dma(self, nbytes: float) -> None:
         self.dma_bytes += nbytes
         self.dma_count += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("DMA", cat="xfer", bytes=float(nbytes))
 
 
 @dataclass
@@ -187,7 +203,7 @@ class Instrumentation:
     def reset(self) -> None:
         """Clear all statistics (the ledger and arena counters included)."""
         self.kernels.clear()
-        self.transfers = TransferLedger()
+        self.transfers = TransferLedger(tracer=self.transfers.tracer)
         self.workspace = WorkspaceStats()
 
     def report(self) -> str:

@@ -97,15 +97,26 @@ class DMAEngine:
     get_count: int = 0
     put_count: int = 0
 
+    # Optional repro.trace.Tracer (class attribute, not a dataclass
+    # field, so ledger equality and repr are unchanged); the owning
+    # ExecutionContext assigns it when tracing is enabled.
+    tracer = None
+
     def get(self, nbytes: float) -> None:
         """Record a main-memory -> LDM transfer."""
         self.get_bytes += nbytes
         self.get_count += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("dma_get", cat="xfer", bytes=float(nbytes))
 
     def put(self, nbytes: float) -> None:
         """Record an LDM -> main-memory transfer."""
         self.put_bytes += nbytes
         self.put_count += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("dma_put", cat="xfer", bytes=float(nbytes))
 
     def get_batch(self, total_bytes: float, count: int) -> None:
         """Record ``count`` gets totalling ``total_bytes`` in one call.
@@ -116,11 +127,19 @@ class DMAEngine:
         """
         self.get_bytes += total_bytes
         self.get_count += count
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("dma_get", cat="xfer", bytes=float(total_bytes),
+                       descriptors=int(count))
 
     def put_batch(self, total_bytes: float, count: int) -> None:
         """Record ``count`` puts totalling ``total_bytes`` in one call."""
         self.put_bytes += total_bytes
         self.put_count += count
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("dma_put", cat="xfer", bytes=float(total_bytes),
+                       descriptors=int(count))
 
     @property
     def total_bytes(self) -> float:

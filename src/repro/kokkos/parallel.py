@@ -130,15 +130,23 @@ def parallel_scan(label: str, n: int, functor, space: Optional[ExecutionSpace] =
         check_host_views(functor, target.name)
     if n <= 0:
         return 0.0
-    total = 0.0
-    for final in (False, True):
-        acc = 0.0
-        for i in range(n):
-            acc = functor(i, acc, final)
-        total = acc
-    # record as one launch (cost model treats scans as bandwidth-bound)
     flops = float(getattr(functor, "flops_per_point", 1.0))
     nbytes = float(getattr(functor, "bytes_per_point", 16.0))
+    tr = getattr(target, "tracer", None)
+    sp = (tr.begin(label, cat="kernel", points=n, flops=flops * n,
+                   bytes=nbytes * n)
+          if tr is not None and tr.enabled else None)
+    try:
+        total = 0.0
+        for final in (False, True):
+            acc = 0.0
+            for i in range(n):
+                acc = functor(i, acc, final)
+            total = acc
+    finally:
+        if sp is not None:
+            tr.end(label)
+    # record as one launch (cost model treats scans as bandwidth-bound)
     target.inst.record_launch(label, points=n, tiles=1,
                               flops_per_point=flops, bytes_per_point=nbytes)
     return total

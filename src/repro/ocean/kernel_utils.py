@@ -13,7 +13,7 @@ slice (computing predictor values on a ring around the tile).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ def sh(s: slice, d: int) -> slice:
     return slice(s.start + d, s.stop + d)
 
 
-def grow(s: slice, d: int, lo: int = 0, hi: int = None) -> slice:
+def grow(s: slice, d: int, lo: Optional[int] = 0, hi: Optional[int] = None) -> slice:
     """Expand a slice by ``d`` on both ends, clipped to ``[lo, hi]``."""
     start = s.start - d if lo is None else max(lo, s.start - d)
     stop = s.stop + d if hi is None else min(hi, s.stop + d)

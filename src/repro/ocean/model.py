@@ -101,6 +101,12 @@ class ModelParams:
     arena: bool = True              # workspace arena for kernel scratch
                                     # arrays (zero steady-state allocations);
                                     # False reverts to per-call allocation
+    trace: bool = False             # span tracing: record kernel launches,
+                                    # halo phases, transfers and step/timer
+                                    # regions on the context's Tracer for
+                                    # Chrome-trace export (repro.trace);
+                                    # False keeps the dispatch path free of
+                                    # any tracing work
     forcing: ForcingParams = field(default_factory=ForcingParams)
 
 
@@ -161,6 +167,8 @@ class LICOMKpp:
                     make_backend(backend), rank=self.comm.rank,
                     owns_space=True)
         self.context = context
+        if self.params.trace:
+            context.enable_tracing()
         self.space: ExecutionSpace = context.space
         context.attach_comm(self.comm)
         self.decomp = decomp if decomp is not None else BlockDecomposition(
@@ -197,7 +205,8 @@ class LICOMKpp:
                                 dtype=self.dtype, n_passive=self.params.n_passive)
         self.halo = HaloUpdater(self.comm, self.decomp, self.rank,
                                 method3d=self.params.halo_method3d,
-                                packer=self.params.halo_packer)
+                                packer=self.params.halo_packer,
+                                tracer=context.tracer)
 
         # -- work views -----------------------------------------------------
         s3 = (d.nz, d.ly, d.lx)
@@ -434,6 +443,11 @@ class LICOMKpp:
         dt2 = dt if self.nstep == 0 else 2.0 * dt
         canuto = bool(self.params.canuto_every
                       and self.nstep % self.params.canuto_every == 0)
+        tr = self.context.tracer
+        if tr.enabled:
+            tr.instant("step_begin", cat="model", step=self.nstep,
+                       variant="startup" if self.nstep == 0 else "leapfrog",
+                       canuto=canuto)
         if not self.params.graph:
             self._step_body(dt2, canuto)
         else:
@@ -443,6 +457,8 @@ class LICOMKpp:
             if graph is not None and graph.signature != sig:
                 graph = None  # bindings changed: drop and re-capture
             if graph is None:
+                if tr.enabled:
+                    tr.instant("graph_capture", cat="model", step=self.nstep)
                 graph = LaunchGraph(self.space, fuse=self.params.graph_fuse)
                 self._capture = graph
                 try:
@@ -573,6 +589,11 @@ class LICOMKpp:
         self.space.fence()
         self.state.rotate()
 
+    def _substep_mark(self, i: int) -> None:
+        tr = self.context.tracer
+        if tr.enabled:
+            tr.instant("barotropic_substep", cat="model", substep=i)
+
     def _run_canuto(self) -> None:
         st = self.state
         self._run(
@@ -615,7 +636,10 @@ class LICOMKpp:
             eta_diff=self.eta_diff,
         )
         mom = BarotropicMomentumFunctor(st.ub, st.vb, self.eta, self.gx, self.gy, d, dtb)
-        for _ in range(steps):
+        for i in range(steps):
+            # sub-step boundary marker rides as a host node so replayed
+            # graphs keep it on the timeline (no-op unless tracing)
+            self._host(lambda i=i: self._substep_mark(i), "substep")
             self._host(self._eta_snapshot, "eta_prev")
             run("barotropic_continuity", self.p_int2, cont)
             self._host(self._halo_eta, "halo_eta")

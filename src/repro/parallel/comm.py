@@ -325,6 +325,9 @@ class SimComm:
         #: separable per-rank statistics the paper's job-level
         #: monitoring provides (§VI-C).
         self.ledger: Optional[TrafficLedger] = None
+        #: Optional per-rank span tracer (``context.attach_comm``): while
+        #: enabled, every send lands on the timeline as an instant event.
+        self.tracer = None
 
     @property
     def size(self) -> int:
@@ -361,6 +364,11 @@ class SimComm:
         self.world.traffic.record(self.rank, dest, nbytes, phase=phase)
         if self.ledger is not None:
             self.ledger.record(self.rank, dest, nbytes, phase=phase)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.instant("send", cat="comm", dest=dest, tag=tag,
+                       bytes=float(nbytes),
+                       **({"phase": phase} if phase else {}))
         payload = obj if move else _copy_payload(obj)
         self.world._box(self.rank, dest, tag).put(payload)
 

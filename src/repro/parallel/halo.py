@@ -302,12 +302,15 @@ class HaloUpdater:
         rank: Optional[int] = None,
         method3d: str = "transposed",
         packer: str = "sliced",
+        tracer=None,
     ) -> None:
         self.comm = comm
         self.decomp = decomp
         self.rank = comm.rank if rank is None else rank
         self.method3d = method3d
         self.packer = packer
+        #: Optional span tracer handed to the fused fast path.
+        self.tracer = tracer
         #: Count of halo updates performed (for the cost model).  Fused
         #: exchanges count each member field, so the step profile sees
         #: the same number of *semantic* updates either way.
@@ -323,7 +326,8 @@ class HaloUpdater:
         if self._fused is None:
             from .halo_fused import FusedHaloExchange
 
-            self._fused = FusedHaloExchange(self.comm, self.decomp, self.rank)
+            self._fused = FusedHaloExchange(self.comm, self.decomp, self.rank,
+                                            tracer=self.tracer)
         return self._fused
 
     @property

@@ -36,6 +36,7 @@ by tests).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +45,11 @@ from ..errors import CommunicationError
 from .comm import Request, SimComm
 from .decomp import BlockDecomposition
 from .halo import TAG_EASTWARD, TAG_FOLD, TAG_NORTHWARD, TAG_SOUTHWARD, TAG_WESTWARD
+
+#: Shared no-op context so the traced call sites allocate nothing when
+#: tracing is disabled — the fused exchange is the model's hottest
+#: host-side path.
+_NO_SPAN = nullcontext()
 
 
 class FieldSpec:
@@ -163,11 +169,15 @@ class FusedHaloExchange:
         decomp: BlockDecomposition,
         rank: Optional[int] = None,
         pool: Optional[BufferPool] = None,
+        tracer=None,
     ) -> None:
         self.comm = comm
         self.decomp = decomp
         self.rank = comm.rank if rank is None else rank
         self.pool = pool if pool is not None else BufferPool()
+        #: Optional :class:`repro.trace.Tracer`: while enabled, the
+        #: pack / post / wait / unpack phases are recorded as spans.
+        self.tracer = tracer
         self.nb = decomp.neighbors(self.rank)
         self.h = decomp.halo
         self.ly, self.lx = decomp.local_shape(self.rank)
@@ -289,20 +299,42 @@ class FusedHaloExchange:
             plan = self._plans[sig] = _Plan(groups, layout)
         return plan
 
+    def _span(self, name: str, **args):
+        """A tracer span when tracing is live, the shared no-op otherwise."""
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            return tr.span(name, cat="halo", **args)
+        return _NO_SPAN
+
+    def _group_nbytes(self, plan: _Plan, g: int, kind: str) -> float:
+        """Wire bytes of one fused message (dtype group ``g``)."""
+        total, _ = plan.layout["ew" if kind == "ew" else "ns"][g]
+        return float(total * plan.groups[g][0].itemsize)
+
     def _pack_and_send(self, specs, plan: _Plan, g: int, where: str, kind: str,
                        dest: int, tag: int, phase: Optional[str]) -> None:
         dtype = plan.groups[g][0]
         total, entries = plan.layout["ew" if kind == "ew" else "ns"][g]
         buf = self.pool.acquire(kind, total, dtype)
-        for i, off, n, shape in entries:
-            buf[off:off + n].reshape(shape)[...] = self._send_slab(specs[i], where)
+        with self._span("halo_pack", who=where, fields=len(entries),
+                        bytes=float(buf.nbytes)):
+            for i, off, n, shape in entries:
+                buf[off:off + n].reshape(shape)[...] = \
+                    self._send_slab(specs[i], where)
         self.comm.send(buf, dest, tag, move=True, phase=phase)
+
+    def _wait(self, req: Request, plan: _Plan, g: int, who: str,
+              kind: str) -> np.ndarray:
+        with self._span("halo_wait", who=who,
+                        bytes=self._group_nbytes(plan, g, kind)):
+            return req.wait()
 
     def _unpack_from(self, specs, plan: _Plan, g: int, where: str, kind: str,
                      buf: np.ndarray) -> None:
-        _, entries = plan.layout["ns" if where in ("s", "n", "fold") else "ew"][g]
-        for i, off, n, shape in entries:
-            self._unpack_slab(specs[i], where, buf[off:off + n].reshape(shape))
+        with self._span("halo_unpack", who=where, bytes=float(buf.nbytes)):
+            _, entries = plan.layout["ns" if where in ("s", "n", "fold") else "ew"][g]
+            for i, off, n, shape in entries:
+                self._unpack_slab(specs[i], where, buf[off:off + n].reshape(shape))
         self.pool.release(kind, buf)
 
     # -- the exchange -------------------------------------------------------
@@ -325,15 +357,17 @@ class FusedHaloExchange:
 
         # 1. post receives first (the MPI irecv-first discipline)
         recvs: List[Tuple[str, str, Request]] = []
-        if nb["s"] is not None:
-            for _ in range(ngroups):
-                recvs.append(("s", "ns", comm.irecv(nb["s"], TAG_NORTHWARD)))
-        if nb["n"] is not None:
-            for _ in range(ngroups):
-                recvs.append(("n", "ns", comm.irecv(nb["n"], TAG_SOUTHWARD)))
-        elif nb["fold"] is not None:
-            for _ in range(ngroups):
-                recvs.append(("fold", "fold", comm.irecv(nb["fold"], TAG_FOLD)))
+        with self._span("halo_post", fields=len(specs)):
+            if nb["s"] is not None:
+                for _ in range(ngroups):
+                    recvs.append(("s", "ns", comm.irecv(nb["s"], TAG_NORTHWARD)))
+            if nb["n"] is not None:
+                for _ in range(ngroups):
+                    recvs.append(("n", "ns", comm.irecv(nb["n"], TAG_SOUTHWARD)))
+            elif nb["fold"] is not None:
+                for _ in range(ngroups):
+                    recvs.append(("fold", "fold",
+                                  comm.irecv(nb["fold"], TAG_FOLD)))
 
         # 2. pack + send (one message per neighbour per dtype group)
         for g in range(ngroups):
@@ -364,23 +398,26 @@ class FusedHaloExchange:
         if nb["s"] is not None:
             for g in range(ngroups):
                 who, kind, req = next(it)
-                self._unpack_from(specs, plan, g, who, kind, req.wait())
+                self._unpack_from(specs, plan, g, who, kind,
+                                  self._wait(req, plan, g, who, kind))
         else:
             for s in specs:
                 s.arr[..., :h, :] = s.fill
         if nb["n"] is not None or nb["fold"] is not None:
             for g in range(ngroups):
                 who, kind, req = next(it)
-                self._unpack_from(specs, plan, g, who, kind, req.wait())
+                self._unpack_from(specs, plan, g, who, kind,
+                                  self._wait(req, plan, g, who, kind))
         else:
             for s in specs:
                 s.arr[..., ly - h:, :] = s.fill
 
         # 4. phase 2: east-west over full rows (corners propagate)
         ew_recvs: List[Tuple[str, Request]] = []
-        for _ in range(ngroups):
-            ew_recvs.append(("w", comm.irecv(nb["w"], TAG_EASTWARD)))
-            ew_recvs.append(("e", comm.irecv(nb["e"], TAG_WESTWARD)))
+        with self._span("halo_post", fields=len(specs)):
+            for _ in range(ngroups):
+                ew_recvs.append(("w", comm.irecv(nb["w"], TAG_EASTWARD)))
+                ew_recvs.append(("e", comm.irecv(nb["e"], TAG_WESTWARD)))
         for g in range(ngroups):
             self._pack_and_send(specs, plan, g, "e", "ew",
                                 nb["e"], TAG_EASTWARD, pending.phase)
@@ -389,9 +426,11 @@ class FusedHaloExchange:
         it2 = iter(ew_recvs)
         for g in range(ngroups):
             who, req = next(it2)
-            self._unpack_from(specs, plan, g, who, "ew", req.wait())
+            self._unpack_from(specs, plan, g, who, "ew",
+                              self._wait(req, plan, g, who, "ew"))
             who, req = next(it2)
-            self._unpack_from(specs, plan, g, who, "ew", req.wait())
+            self._unpack_from(specs, plan, g, who, "ew",
+                              self._wait(req, plan, g, who, "ew"))
         self.exchanges += 1
 
     def exchange(self, fields: Sequence[Any], phase: Optional[str] = None) -> None:

@@ -29,7 +29,7 @@ from .halo_fused import FusedHaloExchange, as_field_specs
 
 
 def interior_core(
-    decomp: BlockDecomposition, rank: int, depth: int = None
+    decomp: BlockDecomposition, rank: int, depth: Optional[int] = None
 ) -> Tuple[slice, slice]:
     """Slices of the deep interior: owned cells whose stencils (width =
     halo) never touch ghost cells."""
@@ -40,7 +40,7 @@ def interior_core(
 
 
 def boundary_strip(
-    decomp: BlockDecomposition, rank: int, depth: int = None
+    decomp: BlockDecomposition, rank: int, depth: Optional[int] = None
 ) -> Tuple[Tuple[slice, slice], ...]:
     """Slices covering the owned cells *not* in the deep interior."""
     h = decomp.halo

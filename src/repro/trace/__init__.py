@@ -1,0 +1,31 @@
+"""``repro.trace`` — span tracing with Chrome trace-event export.
+
+* :mod:`.tracer` — the per-rank :class:`Tracer`: nestable, thread- and
+  rank-labelled spans plus instant events with counter payloads.
+* :mod:`.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and the schema validator CI runs.
+* :mod:`.predicted` — the same spans re-priced with
+  :mod:`repro.perfmodel` durations for SW26010-Pro / ORISE.
+
+Tracers are owned by :class:`repro.kokkos.context.ExecutionContext`
+(one per rank) and stay disabled — and free — until
+``ExecutionContext.enable_tracing()`` / ``ModelParams(trace=True)`` /
+``python -m repro trace`` turns them on.
+"""
+
+from .tracer import Instant, Span, Tracer
+from .export import (
+    VALID_PHASES,
+    chrome_events,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .predicted import predicted_timeline, write_predicted_timeline
+
+__all__ = [
+    "Tracer", "Span", "Instant",
+    "chrome_events", "chrome_trace", "write_chrome_trace",
+    "validate_chrome_trace", "VALID_PHASES",
+    "predicted_timeline", "write_predicted_timeline",
+]

@@ -1,0 +1,124 @@
+"""Chrome trace-event JSON export and schema validation.
+
+The exporter emits the Trace Event Format consumed by Perfetto and
+``chrome://tracing``: a JSON object ``{"traceEvents": [...]}`` whose
+events carry ``name``, ``cat``, a phase ``ph`` (``"X"`` complete span,
+``"i"`` instant, ``"M"`` metadata), microsecond ``ts``/``dur``, and the
+``pid``/``tid`` pair that selects the timeline lane.  One
+:class:`~repro.trace.tracer.Tracer` maps to one process lane group:
+``pid`` is the rank, ``tid`` the dense per-thread lane, and metadata
+events name both, so a 2-rank SimWorld run renders as two labelled
+process tracks.
+
+:func:`validate_chrome_trace` is the schema check CI runs on the
+exported file — it returns a list of human-readable problems (empty
+means valid) instead of raising, so callers can report all at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .tracer import Tracer
+
+_US = 1.0e6  # tracer records seconds; the trace format wants microseconds
+
+#: Phases the exporter emits / the validator accepts.
+VALID_PHASES = frozenset({"X", "B", "E", "i", "I", "C", "M"})
+
+
+def chrome_events(tracer: Tracer, pid: Optional[int] = None) -> List[Dict[str, Any]]:
+    """One tracer's events as Chrome trace-event dicts.
+
+    ``pid`` defaults to the tracer's rank.  Open spans (crashed or
+    still-running regions) are skipped — the format has no well-formed
+    representation for them and partial traces should still load.
+    """
+    pid = tracer.rank if pid is None else int(pid)
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": tracer.name},
+    }]
+    for tid, lane_name in sorted(tracer.lane_names().items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": lane_name},
+        })
+    for sp in tracer.spans:
+        if sp.dur is None:
+            continue
+        events.append({
+            "name": sp.name, "cat": sp.cat or "span", "ph": "X",
+            "ts": sp.ts * _US, "dur": sp.dur * _US,
+            "pid": pid, "tid": sp.tid, "args": dict(sp.args),
+        })
+    for ev in tracer.instants:
+        events.append({
+            "name": ev.name, "cat": ev.cat or "instant", "ph": "i",
+            "ts": ev.ts * _US, "pid": pid, "tid": ev.tid,
+            "s": "t", "args": dict(ev.args),
+        })
+    return events
+
+
+def chrome_trace(tracers: Union[Tracer, Iterable[Tracer]]) -> Dict[str, Any]:
+    """Merge one tracer per rank into a single Chrome trace object."""
+    if isinstance(tracers, Tracer):
+        tracers = [tracers]
+    events: List[Dict[str, Any]] = []
+    for tr in tracers:
+        events.extend(chrome_events(tr))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracers: Union[Tracer, Iterable[Tracer]]) -> Path:
+    """Export ``tracers`` to ``path`` as Chrome trace-event JSON."""
+    trace = chrome_trace(tracers)
+    out = Path(path)
+    out.write_text(json.dumps(trace, indent=1, default=float) + "\n")
+    return out
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Schema-check a trace object; return all problems found.
+
+    Accepts both container forms of the format: the JSON-object form
+    (``{"traceEvents": [...]}``) and the bare JSON-array form.
+    """
+    problems: List[str] = []
+    if isinstance(trace, dict):
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' list"]
+    elif isinstance(trace, list):
+        events = trace
+    else:
+        return [f"trace must be an object or array, got {type(trace).__name__}"]
+
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in VALID_PHASES:
+            problems.append(f"{where}: missing/unknown phase 'ph' ({ph!r})")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where} (ph={ph}): missing 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where} (ph={ph}): missing integer {key!r}")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where} (ph={ph}): missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"{where}: complete event missing numeric 'dur'")
+            elif dur < 0:
+                problems.append(f"{where}: negative 'dur' ({dur})")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: 'args' is not an object")
+    return problems

@@ -98,6 +98,66 @@ class TestConcurrentInstances:
         assert a.transfers.h2d_bytes == 0 and a.transfers.d2h_bytes == 0
 
 
+class TestConcurrentTracing:
+    def test_threaded_models_trace_into_private_lanes(self):
+        """Two traced models stepping on their own threads: each context's
+        tracer records only its own model, on a single lane, with the
+        nesting invariants intact — no bleed between the two timelines."""
+        cfg = demo("tiny")
+        contexts = {b: ExecutionContext(b, trace=True)
+                    for b in ("athread", "cuda")}
+        errors = []
+        state = {}
+
+        def run(backend):
+            try:
+                m = LICOMKpp(cfg, context=contexts[backend])
+                m.run_steps(STEPS)
+                state[backend] = _state_snapshot(m)
+                m.close()
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append((backend, exc))
+
+        threads = [threading.Thread(target=run, args=(b,))
+                   for b in ("athread", "cuda")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        tr_a = contexts["athread"].tracer
+        tr_c = contexts["cuda"].tracer
+        assert tr_a is not tr_c
+
+        for tr in (tr_a, tr_c):
+            spans = tr.closed_spans()
+            # every span closed, all on the one thread that stepped this
+            # model, step containers present
+            assert spans and len(spans) == len(tr.spans)
+            assert {s.tid for s in spans} == {0}
+            assert sum(1 for s in spans if s.name == "step") == STEPS
+            assert all(s.dur >= 0.0 for s in spans)
+
+        # no shared span/instant objects between the two timelines
+        ids_a = {id(s) for s in tr_a.spans} | {id(i) for i in tr_a.instants}
+        ids_c = {id(s) for s in tr_c.spans} | {id(i) for i in tr_c.instants}
+        assert not (ids_a & ids_c)
+
+        # only the device model moved host<->device data
+        assert not any(i.name in ("H2D", "D2H") for i in tr_a.instants)
+        assert any(i.name in ("H2D", "D2H") for i in tr_c.instants)
+
+        # tracing changed no answers: bitwise equal to untraced runs
+        for backend in ("athread", "cuda"):
+            ref = LICOMKpp(cfg, backend=backend)
+            ref.run_steps(STEPS)
+            ref_state = _state_snapshot(ref)
+            for fld in STATE_FIELDS:
+                assert np.array_equal(state[backend][fld], ref_state[fld]), \
+                    (backend, fld)
+
+
 class TestPerRankLedgers:
     def test_simworld_ranks_never_bleed_counters(self):
         """Regression for the record_launch thread-safety gap: per-rank
