@@ -1,28 +1,34 @@
 #!/usr/bin/env python
-"""Wall-clock benchmark: eager stepping vs graph replay + arena (BENCH_step).
+"""Wall-clock benchmark: eager vs graph replay vs the compiled tier.
 
 Times steady-state baroclinic steps of the tiny demo configuration on
-the athread (tiled) backend twice — once with eager dispatch and
-per-call temporary allocation (the pre-graph baseline), once with the
-step graph sealed (cached launch plans + elementwise fusion) and the
-workspace arena on — and writes ``BENCH_step.json`` with best-of-
-``repeats`` steps/sec, workspace allocations per step, and the
-launch-count accounting from the sealed graph.
+the athread (tiled) backend three times — eager dispatch with per-call
+temporary allocation (the pre-graph baseline), the step graph sealed
+with the workspace arena but the compiled tier off (the interpreted
+replay path), and the full configuration with the compiled tier on
+(``repro.kokkos.jit``: cached launch plans + halo-aware fusion +
+compiled sweeps) — and writes ``BENCH_step.json`` with best-of-
+``repeats`` steps/sec, workspace allocations per step, the launch-count
+accounting from the sealed graphs and the compiled-tier coverage.
 
 The athread backend is the benchmark config because it is the
 dispatch-bound path the optimization targets: every launch pays the
-tile sweep's spawn/join analogue, so cached plans and fused launches
-move wall-clock, not just counters.  Numerics are bitwise identical in
-both modes (enforced by ``tests/kokkos/test_graph.py``); this benchmark
-only measures speed.
+tile sweep's spawn/join analogue, so cached plans, fused launches and
+compiled sweeps move wall-clock, not just counters.  Numerics are
+bitwise identical in all modes (enforced by
+``tests/ocean/test_graph_replay.py``); this benchmark only measures
+speed.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_step_wallclock.py [--smoke]
+    PYTHONPATH=src python benchmarks/bench_step_wallclock.py --quick
 
 ``--smoke`` shrinks the run for CI and compares against the committed
 ``BENCH_step.json`` baseline instead of the absolute thresholds,
-failing on a >15% speedup regression.
+failing on a >15% speedup regression.  ``--quick`` is the fastest CI
+gate: a tiny jit-only run asserting the compiled tier actually served
+launches (coverage > 0) without timing anything.
 """
 
 from __future__ import annotations
@@ -41,12 +47,19 @@ ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
 
 
 def _make_model(params: ModelParams):
-    """Model warmed past the Euler start step (and graph capture)."""
+    """Model warmed past the Euler start step, graph capture and the
+    first compiled replay (which allocates its whole-range scratch)."""
     inst = Instrumentation()
     model = LICOMKpp(demo("tiny"), backend=AthreadBackend(inst=inst),
                      params=params)
-    model.run_steps(2)
+    model.run_steps(3)
     return model, inst
+
+
+def _steady_graph(model):
+    graphs = [g for (startup, _), g in getattr(model, "_graphs", {}).items()
+              if not startup]
+    return graphs[0] if graphs else None
 
 
 def _mode_stats(model, inst, best: float, steps: int) -> dict:
@@ -55,52 +68,80 @@ def _mode_stats(model, inst, best: float, steps: int) -> dict:
     inst.workspace.allocations = 0
     model.run_steps(steps)
     ws = inst.workspace
-    graphs = [g for (startup, _), g in getattr(model, "_graphs", {}).items()
-              if not startup]
-    graph = graphs[0] if graphs else None
-    return {
+    graph = _steady_graph(model)
+    stats = {
         "steps_per_sec": steps / best,
         "workspace_requests_per_step": ws.requests / steps,
         "allocations_per_step": ws.allocations / steps,
         "captured_launches": graph.captured_launches if graph else None,
         "replay_launches": graph.launches_per_replay if graph else None,
         "fused_groups": graph.fused_groups if graph else None,
+        "compiled_launches": graph.compiled_launches if graph else None,
+        "jit_coverage": graph.jit_coverage if graph else None,
     }
+    if graph is not None:
+        tiers: dict = {}
+        for _, tier in graph.kernel_tiers():
+            tiers[tier] = tiers.get(tier, 0) + 1
+        stats["tiers"] = tiers
+    return stats
 
 
 def run_benchmark(steps: int = 8, repeats: int = 6) -> dict:
-    """Best-of-``repeats`` steps/sec, eager vs graph+arena.
+    """Best-of-``repeats`` steps/sec: eager vs graph+arena vs + jit.
 
-    The two modes are timed in *interleaved* repeats (eager chunk, then
-    graph chunk, repeatedly) so slow machine drift lands on both sides
-    of the ratio instead of biasing whichever mode ran last.
+    The modes are timed in *interleaved* repeats (an eager chunk, then a
+    graph chunk, then a jit chunk, repeatedly) so slow machine drift
+    lands on every side of the ratios instead of biasing whichever mode
+    ran last.  ``graph_arena`` pins ``jit=False`` so its meaning —
+    interpreted replay, the pre-compiled-tier baseline — is independent
+    of the ``REPRO_JIT`` default.
     """
-    m_eager, i_eager = _make_model(ModelParams(graph=False, arena=False))
-    m_graph, i_graph = _make_model(ModelParams(graph=True, arena=True))
-    best_eager = best_graph = float("inf")
+    modes = {
+        "eager": ModelParams(graph=False, arena=False, jit=False),
+        "graph_arena": ModelParams(graph=True, arena=True, jit=False),
+        "graph_jit": ModelParams(graph=True, arena=True, jit=True),
+    }
+    models = {name: _make_model(p) for name, p in modes.items()}
+    best = {name: float("inf") for name in modes}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        m_eager.run_steps(steps)
-        best_eager = min(best_eager, time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        m_graph.run_steps(steps)
-        best_graph = min(best_graph, time.perf_counter() - t0)
-    eager = _mode_stats(m_eager, i_eager, best_eager, steps)
-    graph = _mode_stats(m_graph, i_graph, best_graph, steps)
-    alloc_eager = eager["allocations_per_step"]
-    alloc_graph = graph["allocations_per_step"]
+        for name, (model, _) in models.items():
+            t0 = time.perf_counter()
+            model.run_steps(steps)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    stats = {name: _mode_stats(model, inst, best[name], steps)
+             for name, (model, inst) in models.items()}
+    alloc_eager = stats["eager"]["allocations_per_step"]
+    alloc_graph = stats["graph_arena"]["allocations_per_step"]
+    eager_rate = stats["eager"]["steps_per_sec"]
     return {
         "config": {
             "size": "tiny", "backend": "athread",
             "steps": steps, "repeats": repeats,
         },
-        "eager": eager,
-        "graph_arena": graph,
-        "speedup": graph["steps_per_sec"] / eager["steps_per_sec"],
+        **stats,
+        "speedup": stats["graph_arena"]["steps_per_sec"] / eager_rate,
+        "speedup_jit": stats["graph_jit"]["steps_per_sec"] / eager_rate,
         # a warm arena allocates nothing, so floor the denominator at
         # one allocation per step to keep the ratio meaningful
         "allocation_reduction": alloc_eager / max(alloc_graph, 1.0),
     }
+
+
+def run_quick() -> int:
+    """CI gate: the compiled tier must actually serve launches."""
+    model, _ = _make_model(ModelParams(graph=True, arena=True, jit=True))
+    graph = _steady_graph(model)
+    if graph is None:
+        print("FAIL: no steady-state graph captured", file=sys.stderr)
+        return 1
+    print(f"quick: {graph.compiled_launches}/{graph.launches_per_replay} "
+          f"launches compiled ({graph.jit_coverage:.0%})")
+    if graph.compiled_launches <= 0:
+        print("FAIL: compiled tier served no launches (coverage 0)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -108,6 +149,9 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="small run for CI; compares against --baseline "
                          "instead of the absolute thresholds")
+    ap.add_argument("--quick", action="store_true",
+                    help="fastest CI gate: assert compiled-tier coverage "
+                         "> 0 on a tiny run, no timing")
     ap.add_argument("--out", type=pathlib.Path,
                     default=ARTIFACTS / "BENCH_step.json")
     ap.add_argument("--baseline", type=pathlib.Path,
@@ -115,8 +159,12 @@ def main(argv=None) -> int:
                     help="committed result the smoke run must stay within "
                          "15%% of")
     ap.add_argument("--min-speedup", type=float, default=1.3)
+    ap.add_argument("--min-speedup-jit", type=float, default=2.5)
     ap.add_argument("--min-alloc-reduction", type=float, default=5.0)
     args = ap.parse_args(argv)
+
+    if args.quick:
+        return run_quick()
 
     baseline = None
     if args.smoke and args.baseline.exists():
@@ -132,34 +180,46 @@ def main(argv=None) -> int:
         args.out.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {args.out}")
 
-    e, g = result["eager"], result["graph_arena"]
+    e, g, j = result["eager"], result["graph_arena"], result["graph_jit"]
     print(f"eager:       {e['steps_per_sec']:8.2f} steps/sec "
           f"({e['allocations_per_step']:.0f} allocations/step)")
     print(f"graph+arena: {g['steps_per_sec']:8.2f} steps/sec "
           f"({g['allocations_per_step']:.0f} allocations/step, "
           f"{g['captured_launches']} launches fused into "
           f"{g['replay_launches']})")
-    print(f"speedup: {result['speedup']:.2f}x   "
+    print(f"graph+jit:   {j['steps_per_sec']:8.2f} steps/sec "
+          f"({j['compiled_launches']}/{j['replay_launches']} launches "
+          f"compiled, {j['jit_coverage']:.0%} coverage)")
+    print(f"speedup: {result['speedup']:.2f}x (interpreted replay)   "
+          f"{result['speedup_jit']:.2f}x (compiled tier)   "
           f"allocation reduction: {result['allocation_reduction']:.0f}x")
 
     failures = []
     if args.smoke:
         if baseline is not None:
-            floor = 0.85 * baseline["speedup"]
-            if result["speedup"] < floor:
-                failures.append(
-                    f"speedup {result['speedup']:.2f}x regressed >15% below "
-                    f"baseline {baseline['speedup']:.2f}x")
+            for key in ("speedup", "speedup_jit"):
+                base = baseline.get(key)
+                if base is None:
+                    continue
+                if result[key] < 0.85 * base:
+                    failures.append(
+                        f"{key} {result[key]:.2f}x regressed >15% below "
+                        f"baseline {base:.2f}x")
             if (result["graph_arena"]["allocations_per_step"]
                     > baseline["graph_arena"]["allocations_per_step"]):
                 failures.append(
                     "steady-state arena allocations/step regressed above "
                     f"baseline "
                     f"{baseline['graph_arena']['allocations_per_step']:.0f}")
+        if result["graph_jit"]["compiled_launches"] in (None, 0):
+            failures.append("compiled tier served no launches in smoke run")
     else:
         if result["speedup"] < args.min_speedup:
             failures.append(f"speedup {result['speedup']:.2f}x "
                             f"< {args.min_speedup}x")
+        if result["speedup_jit"] < args.min_speedup_jit:
+            failures.append(f"speedup_jit {result['speedup_jit']:.2f}x "
+                            f"< {args.min_speedup_jit}x")
         if result["allocation_reduction"] < args.min_alloc_reduction:
             failures.append(
                 f"allocation reduction {result['allocation_reduction']:.1f}x "

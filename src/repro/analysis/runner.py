@@ -98,8 +98,17 @@ class LintConfig:
 # --------------------------------------------------------------------------
 
 
-def collect_footprints(cfg: LintConfig) -> List[KernelFootprint]:
-    """Import kernel modules and footprint every registered functor."""
+def collect_footprints(cfg: LintConfig,
+                       registry=None) -> List[KernelFootprint]:
+    """Import kernel modules and footprint every registered functor.
+
+    ``registry`` defaults to the process registry; tests pass a private
+    one.  JIT-generated functors are *derived artifacts*: a registered
+    type carrying ``__kernelcheck_source__`` is linted as its declared
+    source functor (the lowered body is generated from it), so a defect
+    in the source is reported whether or not the compiled tier served
+    the launch.
+    """
     from repro.kokkos.registry import default_registry
 
     for mod in list(OCEAN_KERNEL_MODULES) + list(cfg.extra_modules):
@@ -107,8 +116,9 @@ def collect_footprints(cfg: LintConfig) -> List[KernelFootprint]:
 
     footprints: List[KernelFootprint] = []
     seen: Set[type] = set()
-    for entry in default_registry().entries():
-        ft = entry.functor_type
+    reg = registry if registry is not None else default_registry()
+    for entry in reg.entries():
+        ft = resolve_lint_target(entry.functor_type)
         if ft in seen:
             continue
         seen.add(ft)
@@ -122,6 +132,17 @@ def collect_footprints(cfg: LintConfig) -> List[KernelFootprint]:
             build_footprint(entry.name, ft, entry.ndim, entry.kind))
     footprints.sort(key=lambda fp: fp.kernel)
     return footprints
+
+
+def resolve_lint_target(functor_type: type) -> type:
+    """Follow ``__kernelcheck_source__`` chains to the declared source."""
+    seen = set()
+    while True:
+        src = getattr(functor_type, "__kernelcheck_source__", None)
+        if src is None or src in seen:
+            return functor_type
+        seen.add(functor_type)
+        functor_type = src
 
 
 # --------------------------------------------------------------------------

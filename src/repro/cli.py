@@ -166,6 +166,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         model = LICOMKpp(cfg, backend=args.backend, params=params)
         model.run_steps(args.steps)
         tracers.append(model.context.tracer)
+        if args.graph:
+            _report_jit_coverage(model)
         model.close()
     else:
         from .parallel import BlockDecomposition, SimWorld
@@ -200,6 +202,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         ppath = write_predicted_timeline(pout, tracers, args.predict)
         print(f"{ppath}: predicted timeline for {args.predict}")
     return 0
+
+
+def _report_jit_coverage(model) -> None:
+    """Per-graph compiled-tier coverage (the satellite of `trace --graph`)."""
+    from collections import Counter
+
+    for (startup, canuto), graph in sorted(model._graphs.items()):
+        tiers = Counter(tier for _, tier in graph.kernel_tiers())
+        mix = ", ".join(f"{t}:{n}" for t, n in sorted(tiers.items()))
+        variant = ("startup" if startup else "steady") + \
+            ("+canuto" if canuto else "")
+        print(f"graph[{variant}]: {graph.compiled_launches}/"
+              f"{graph.launches_per_replay} launches compiled "
+              f"({graph.jit_coverage:.0%}; {mix})")
+        eager = [label for label, tier in graph.kernel_tiers()
+                 if tier == "eager"]
+        if eager and graph.compiled_launches:
+            print(f"  eager launches: {', '.join(eager)}")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:

@@ -75,7 +75,14 @@ from .backends import (
     Sum,
     make_backend,
 )
-from .graph import FusedTileFunctor, HostNode, KernelNode, LaunchGraph
+from .graph import (
+    FusedStencilFunctor,
+    FusedTileFunctor,
+    HostNode,
+    KernelNode,
+    LaunchGraph,
+)
+from .jit import JitCache, numba_available, resolve_jit
 from .instrument import (
     GLOBAL_INSTRUMENTATION,
     Instrumentation,
@@ -119,6 +126,7 @@ __all__ = [
     "DeviceBackend", "make_backend", "Reducer", "Sum", "Prod", "Min", "Max",
     # graph capture / workspace arena
     "LaunchGraph", "KernelNode", "HostNode", "FusedTileFunctor",
+    "FusedStencilFunctor", "JitCache", "numba_available", "resolve_jit",
     "Workspace", "null_workspace",
     # instrumentation / ldm
     "Instrumentation", "KernelStats", "WorkspaceStats", "GLOBAL_INSTRUMENTATION",

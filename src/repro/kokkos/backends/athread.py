@@ -82,6 +82,8 @@ class _AthreadPlan(LaunchPlan):
     __slots__ = ("_callback", "_apply", "_tile_slices", "_distribution",
                  "_get_total", "_put_total", "_ldm_peaks")
 
+    supports_compiled = True
+
     def __init__(self, space, label, policy, functor) -> None:
         super().__init__(space, label, policy, functor)
         check_host_views(functor, space.name)
@@ -128,7 +130,13 @@ class _AthreadPlan(LaunchPlan):
         functor = self.functor
         apply = self._apply
         callback = self._callback
-        if apply is not None:
+        compiled = self._compiled
+        if compiled is not None:
+            # whole-range compiled sweep; the batched DMA/LDM ledger
+            # below is unchanged, so the machine-model accounting stays
+            # identical to the tiled interpretation
+            compiled()
+        elif apply is not None:
             for slices in self._tile_slices:
                 apply(slices)
         elif callback is not None:

@@ -89,6 +89,11 @@ class ExecutionSpace:
         #: :class:`~repro.kokkos.context.ExecutionContext`; every launch
         #: becomes a ``kernel`` span while it is enabled.
         self.tracer = None
+        #: Lazily-created :class:`repro.kokkos.jit.JitCache` — lowered
+        #: kernels for sealed graphs on this space.  Per space (and the
+        #: space is per :class:`~repro.kokkos.context.ExecutionContext`),
+        #: so ranks never share compilation state.
+        self.jit_cache = None
 
     # -- required API ------------------------------------------------------
 
@@ -157,6 +162,10 @@ class ExecutionSpace:
             # a fused sweep replays as ONE launch: one span, with the
             # constituent kernel labels in the payload
             args["fused"] = list(labels)
+        if plan.tier != "eager":
+            # compiled vs interpreted launches are distinguishable in
+            # Perfetto (and priced differently by the predicted timeline)
+            args["jit"] = plan.tier
         with tr.span(plan.label, cat="kernel", **args):
             plan.run()
 
@@ -184,7 +193,12 @@ class LaunchPlan:
     """
 
     __slots__ = ("space", "label", "policy", "functor",
-                 "_points", "_flops", "_bytes")
+                 "_points", "_flops", "_bytes", "tier", "_compiled")
+
+    #: Whether :mod:`repro.kokkos.jit` may attach a compiled sweep.
+    #: Only the concrete backend plans opt in; the generic fallback
+    #: (and with it every run_for-intercepting subclass) stays eager.
+    supports_compiled = False
 
     def __init__(self, space: ExecutionSpace, label: str,
                  policy: MDRangePolicy, functor) -> None:
@@ -194,6 +208,15 @@ class LaunchPlan:
         self.functor = functor
         self._points = policy.size
         self._flops, self._bytes = functor_cost(functor)
+        #: Execution tier serving this plan: ``eager`` (interpreted),
+        #: ``codegen`` or ``njit`` — see :mod:`repro.kokkos.jit`.
+        self.tier = "eager"
+        self._compiled = None
+
+    def attach_compiled(self, sweep) -> None:
+        """Adopt a :class:`repro.kokkos.jit.CompiledSweep`."""
+        self._compiled = sweep.fn
+        self.tier = sweep.tier
 
     def _record(self, tiles: int) -> None:
         self.space.inst.record_launch(

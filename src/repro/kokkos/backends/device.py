@@ -52,6 +52,8 @@ class _DevicePlan(LaunchPlan):
 
     __slots__ = ("_slices", "_blocks")
 
+    supports_compiled = True
+
     def __init__(self, space, label, policy, functor) -> None:
         super().__init__(space, label, policy, functor)
         space._check_device_views(functor)
@@ -60,8 +62,12 @@ class _DevicePlan(LaunchPlan):
 
     def run(self) -> None:
         self.space.kernel_launches += 1
+        compiled = self._compiled
         with kernel_context():
-            apply_tile(self.functor, self._slices)
+            if compiled is not None:
+                compiled()
+            else:
+                apply_tile(self.functor, self._slices)
         self._record(tiles=self._blocks)
 
 

@@ -55,6 +55,8 @@ class _OpenMPPlan(LaunchPlan):
 
     __slots__ = ("_chunk_slices",)
 
+    supports_compiled = True
+
     def __init__(self, space, label, policy, functor) -> None:
         super().__init__(space, label, policy, functor)
         check_host_views(functor, space.name)
@@ -62,7 +64,12 @@ class _OpenMPPlan(LaunchPlan):
 
     def run(self) -> None:
         chunks = self._chunk_slices
-        if len(chunks) == 1:
+        compiled = self._compiled
+        if compiled is not None:
+            # the compiled sweep owns the chunk submission (one stage
+            # barrier per fused part)
+            compiled()
+        elif len(chunks) == 1:
             apply_tile(self.functor, chunks[0])
         else:
             pool = self.space._executor()

@@ -24,6 +24,8 @@ class _SerialPlan(LaunchPlan):
 
     __slots__ = ("_slices", "_apply")
 
+    supports_compiled = True
+
     def __init__(self, space, label, policy, functor) -> None:
         super().__init__(space, label, policy, functor)
         check_host_views(functor, space.name)
@@ -31,7 +33,10 @@ class _SerialPlan(LaunchPlan):
         self._apply = getattr(functor, "apply", None)
 
     def run(self) -> None:
-        if self._apply is not None:
+        compiled = self._compiled
+        if compiled is not None:
+            compiled()
+        elif self._apply is not None:
             self._apply(self._slices)
         else:
             apply_tile(self.functor, self._slices)

@@ -210,6 +210,22 @@ class ExecutionContext:
         return ctx
 
     @property
+    def jit_cache(self):
+        """Per-context cache of compiled launch sweeps.
+
+        Lives on the owned space (where :meth:`LaunchGraph.seal` looks
+        it up), created lazily; because every context owns its space,
+        ranks never share compilation state.  Cleared on :meth:`close`.
+        """
+        from .jit import JitCache
+
+        space = self.space
+        cache = getattr(space, "jit_cache", None)
+        if cache is None:
+            cache = space.jit_cache = JitCache()
+        return cache
+
+    @property
     def traffic(self):
         """Per-rank message ledger (created lazily; see SimComm.ledger)."""
         if self._traffic is None:
@@ -257,6 +273,10 @@ class ExecutionContext:
         if self._null_ws is not None:
             self._null_ws.release()
         self.graph_cache.clear()
+        if self._space is not None:
+            cache = getattr(self._space, "jit_cache", None)
+            if cache is not None:
+                cache.clear()
         if self._owns_space and self._space is not None:
             shutdown = getattr(self._space, "shutdown", None)
             if shutdown is not None:

@@ -98,6 +98,12 @@ def _make_preset(functor_type: type, kind: str) -> Callable:
 
 def _loop_elementwise(functor, slices: Sequence[slice]) -> None:
     """Reference elementwise sweep of a tile (row-major order)."""
+    # Any empty range means zero iteration points: short-circuit before
+    # dispatch so a huge outer range over an empty inner one costs
+    # nothing (mirrors the parallel_scan empty-range fix).
+    for s in slices:
+        if s.stop <= s.start:
+            return
     _recurse_for(functor, slices, ())
 
 
@@ -106,6 +112,8 @@ def _recurse_for(functor, slices: Sequence[slice], idx: Tuple[int, ...]) -> None
         functor(*idx)
         return
     head, rest = slices[0], slices[1:]
+    if head.stop <= head.start:
+        return
     for i in range(head.start, head.stop):
         _recurse_for(functor, rest, idx + (i,))
 

@@ -20,14 +20,31 @@ Two mechanisms keep replay valid across steps:
   on the sealed graph; when it no longer matches, the model drops the
   graph and re-captures.
 
-On top of the recording, :meth:`LaunchGraph.seal` runs an *elementwise
-fusion* pass: maximal runs of adjacent ``parallel_for`` launches with
-identical iteration ranges, zero ``stencil_halo`` and no intervening
-host node are merged into a single :class:`FusedTileFunctor` sweep.
-Point-local bodies over the same range commute with tiling, so the
-fused launch is bitwise identical to the sequence under any backend —
-while paying one launch (one spawn/join on the CPEs, one kernel launch
-on the GPU) instead of N.
+On top of the recording, :meth:`LaunchGraph.seal` runs a *fusion* pass
+over maximal runs of adjacent ``parallel_for`` launches with identical
+iteration ranges and no intervening host node:
+
+* **Elementwise fusion** — runs whose parts are all point-local
+  (``stencil_halo == 0``) merge into one :class:`FusedTileFunctor`
+  sweep.  Point-local bodies over the same range commute with tiling,
+  so the fused launch is bitwise identical under any backend — while
+  paying one launch (one spawn/join on the CPEs, one kernel launch on
+  the GPU) instead of N.
+* **Halo-aware stencil fusion** — runs containing stencil parts
+  (``stencil_halo > 0``, the declaration kernelcheck already enforces)
+  merge into a :class:`FusedStencilFunctor` when the parts are provably
+  independent (no cross-part read/write hazard, from the kernelcheck
+  footprints — see :func:`repro.kokkos.jit.parts_independent`), and
+  — with the compiled tier on — even when they form a dependent chain,
+  because the compiled sweep runs each part whole-range with a stage
+  barrier between parts, reproducing the eager sequence exactly.
+
+Finally, when the ``jit`` knob resolves on (default; see
+:func:`repro.kokkos.jit.resolve_jit` / ``REPRO_JIT``), every sealed
+plan is lowered through :mod:`repro.kokkos.jit` into a compiled sweep
+cached on the owning execution space; plans that fail to lower degrade
+to their eager tier, and dependent stencil chains that cannot be
+compiled are un-fused back into the captured launches.
 """
 
 from __future__ import annotations
@@ -35,6 +52,7 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from . import jit as _jit
 from .backends.base import ExecutionSpace, apply_tile
 from .functor import kokkos_register_for
 from .policy import MDRangePolicy, as_md
@@ -87,20 +105,52 @@ class FusedTileFunctor:
             apply_tile(p, slices)
 
 
+@kokkos_register_for("fused_stencil", ndim=3)
+class FusedStencilFunctor(FusedTileFunctor):
+    """N adjacent stencil launches executed as one halo-aware sweep.
+
+    The instance's ``stencil_halo`` is the widest ring any part reads,
+    so the Athread backend stages (and the LDM fit proof covers) the
+    union working set.  Safety is decided at fusion time: independent
+    parts commute with tiling like elementwise parts do; *dependent*
+    chains are only ever fused when the compiled tier executes them —
+    whole-range, part by part (interior and rim alike), which is
+    exactly the eager launch sequence.
+    """
+
+    #: Composite body: kernelcheck analyses the parts individually.
+    __kernelcheck_skip__ = True
+
+    def __init__(self, parts: Sequence, labels: Sequence[str],
+                 halo: int) -> None:
+        super().__init__(parts, labels)
+        self.stencil_halo = int(halo)
+
+
 class KernelNode:
     """One recorded ``parallel_for`` (label, policy, bound functor)."""
 
-    __slots__ = ("label", "policy", "functor", "plan")
+    __slots__ = ("label", "policy", "functor", "plan", "fallback")
 
     def __init__(self, label: str, policy: MDRangePolicy, functor) -> None:
         self.label = label
         self.policy = policy
         self.functor = functor
         self.plan = None
+        #: Original captured nodes to fall back to when this node is a
+        #: dependent fused chain and the compiled tier is unavailable.
+        self.fallback: Optional[List["KernelNode"]] = None
+
+    def halo(self) -> int:
+        return max(0, int(getattr(self.functor, "stencil_halo", 0)))
 
     def fusible(self) -> bool:
-        return (self.policy.tile is None
-                and int(getattr(self.functor, "stencil_halo", 0)) == 0)
+        return self.policy.tile is None and self.halo() == 0
+
+    def can_fuse(self, other: "KernelNode") -> bool:
+        """May ``other`` join a fusion group ending with this node?"""
+        return (self.policy.tile is None and other.policy.tile is None
+                and self.policy.ranges == other.policy.ranges)
 
 
 class HostNode:
@@ -116,9 +166,13 @@ class HostNode:
 class LaunchGraph:
     """A captured launch sequence, sealable into a replayable plan list."""
 
-    def __init__(self, space: ExecutionSpace, fuse: bool = True) -> None:
+    def __init__(self, space: ExecutionSpace, fuse: bool = True,
+                 jit: Optional[bool] = None) -> None:
         self.space = space
         self.fuse = fuse
+        #: Compiled execution tier (resolved: explicit arg beats the
+        #: ``REPRO_JIT`` environment override beats the on-default).
+        self.jit = _jit.resolve_jit(jit)
         self.nodes: List[object] = []
         self.sealed = False
         #: Binding signature the owner compares to decide re-capture.
@@ -142,30 +196,88 @@ class LaunchGraph:
 
     # -- fusion ------------------------------------------------------------
 
+    def _fused_node(self, run: List[KernelNode],
+                    fallback: Optional[List[KernelNode]]) -> KernelNode:
+        label = "fused[" + "+".join(n.label for n in run) + "]"
+        parts = [n.functor for n in run]
+        labels = [n.label for n in run]
+        halo = max(n.halo() for n in run)
+        if halo == 0:
+            functor = FusedTileFunctor(parts, labels)
+        else:
+            functor = FusedStencilFunctor(parts, labels, halo)
+        node = KernelNode(label, run[0].policy, functor)
+        node.fallback = fallback
+        self.fused_groups += 1
+        return node
+
+    def _segment_independent(self, group: List[KernelNode]
+                             ) -> List[KernelNode]:
+        """Greedy maximal tiling-safe runs of a same-range group.
+
+        A run may grow while it is either all point-local or provably
+        independent (:func:`repro.kokkos.jit.parts_independent`); the
+        first hazard — or analysis failure, treated as a hazard —
+        flushes it.  Used for the interpreted tiers, whose tiled sweeps
+        cannot honour cross-part dependences.
+        """
+        out: List[KernelNode] = []
+        run: List[KernelNode] = []
+
+        def flush() -> None:
+            if len(run) >= 2:
+                out.append(self._fused_node(list(run), None))
+            else:
+                out.extend(run)
+            run.clear()
+
+        ndim = len(group[0].policy.extents)
+        for node in group:
+            cand = run + [node]
+            if len(cand) > 1 and max(n.halo() for n in cand) > 0 \
+                    and _jit.parts_independent(
+                        [n.functor for n in cand], ndim) is not True:
+                flush()
+            run.append(node)
+        flush()
+        return out
+
+    def _flush_group(self, group: List[KernelNode],
+                     out: List[object]) -> None:
+        if not group:
+            return
+        if len(group) == 1:
+            out.append(group[0])
+            return
+        if max(n.halo() for n in group) == 0:
+            out.append(self._fused_node(list(group), None))
+            return
+        if self.jit:
+            # the compiled sweep runs each part whole-range with a stage
+            # barrier, so even dependent chains fuse — but keep the
+            # captured nodes around in case lowering fails at seal time
+            ndim = len(group[0].policy.extents)
+            indep = _jit.parts_independent(
+                [n.functor for n in group], ndim)
+            fallback = None if indep is True else list(group)
+            out.append(self._fused_node(list(group), fallback))
+            return
+        out.extend(self._segment_independent(group))
+
     def _fuse_nodes(self, nodes: List[object]) -> List[object]:
         out: List[object] = []
         group: List[KernelNode] = []
-
-        def flush() -> None:
-            if len(group) >= 2:
-                label = "fused[" + "+".join(n.label for n in group) + "]"
-                functor = FusedTileFunctor([n.functor for n in group],
-                                           [n.label for n in group])
-                out.append(KernelNode(label, group[0].policy, functor))
-                self.fused_groups += 1
-            else:
-                out.extend(group)
-            group.clear()
-
         for node in nodes:
-            if isinstance(node, KernelNode) and node.fusible():
-                if group and node.policy.ranges != group[0].policy.ranges:
-                    flush()
+            if isinstance(node, KernelNode) and node.policy.tile is None:
+                if group and not group[-1].can_fuse(node):
+                    self._flush_group(group, out)
+                    group = []
                 group.append(node)
             else:
-                flush()
+                self._flush_group(group, out)
+                group = []
                 out.append(node)
-        flush()
+        self._flush_group(group, out)
         return out
 
     # -- seal / replay -----------------------------------------------------
@@ -177,18 +289,59 @@ class LaunchGraph:
         return _NO_SPAN
 
     def seal(self) -> "LaunchGraph":
-        """Fuse compatible launches and prepare per-backend plans."""
+        """Fuse compatible launches and prepare per-backend plans.
+
+        With the compiled tier on, each prepared plan is additionally
+        lowered through :mod:`repro.kokkos.jit` (cached on the owning
+        execution space); failures degrade per plan to the eager tier.
+        """
         if self.sealed:
             return self
         with self._span("graph_seal", captured=self.captured_launches):
             if self.fuse:
                 self.nodes = self._fuse_nodes(self.nodes)
+            cache = None
+            if self.jit:
+                cache = getattr(self.space, "jit_cache", None)
+                if cache is None:
+                    cache = self.space.jit_cache = _jit.JitCache()
+            final: List[object] = []
             for node in self.nodes:
                 if isinstance(node, KernelNode):
-                    node.plan = self.space.prepare_plan(
-                        node.label, node.policy, node.functor)
+                    self._prepare_node(node, cache, final)
+                else:
+                    final.append(node)
+            self.nodes = final
         self.sealed = True
         return self
+
+    def _prepare_node(self, node: KernelNode, cache, out: List[object]) -> None:
+        plan = None
+        sweep = None
+        failure: Optional[BaseException] = None
+        try:
+            plan = self.space.prepare_plan(node.label, node.policy,
+                                           node.functor)
+            if cache is not None and getattr(plan, "supports_compiled",
+                                             False):
+                sweep = _jit.compile_sweep(self.space, node.label,
+                                           node.policy, node.functor, cache)
+        except Exception as exc:
+            failure = exc
+        if node.fallback is not None and sweep is None:
+            # a dependent stencil chain is only valid fused when the
+            # compiled tier guarantees whole-range stage barriers;
+            # without one, un-fuse back into tiling-safe pieces
+            self.fused_groups -= 1
+            for orig in self._segment_independent(node.fallback):
+                self._prepare_node(orig, cache, out)
+            return
+        if failure is not None:
+            raise failure
+        if sweep is not None:
+            plan.attach_compiled(sweep)
+        node.plan = plan
+        out.append(node)
 
     def replay(self) -> None:
         """Re-execute the captured step through the cached plans."""
@@ -211,8 +364,25 @@ class LaunchGraph:
         """Kernel launches one replay issues (after fusion)."""
         return sum(1 for n in self.nodes if isinstance(n, KernelNode))
 
+    def kernel_tiers(self) -> List[Tuple[str, str]]:
+        """Per-kernel (label, execution tier) of the sealed graph."""
+        return [(n.label, getattr(n.plan, "tier", "eager"))
+                for n in self.nodes if isinstance(n, KernelNode)]
+
+    @property
+    def compiled_launches(self) -> int:
+        """Launches per replay served by a compiled (non-eager) tier."""
+        return sum(1 for _, tier in self.kernel_tiers() if tier != "eager")
+
+    @property
+    def jit_coverage(self) -> float:
+        """Fraction of replayed launches on a compiled tier."""
+        launches = self.launches_per_replay
+        return self.compiled_launches / launches if launches else 0.0
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         hosts = sum(1 for n in self.nodes if isinstance(n, HostNode))
         return (f"LaunchGraph(launches={self.launches_per_replay}, "
                 f"hosts={hosts}, captured={self.captured_launches}, "
-                f"fused_groups={self.fused_groups}, sealed={self.sealed})")
+                f"fused_groups={self.fused_groups}, "
+                f"compiled={self.compiled_launches}, sealed={self.sealed})")

@@ -98,6 +98,13 @@ class ModelParams:
                                     # plans (bitwise identical to eager)
     graph_fuse: bool = True         # merge adjacent compatible elementwise
                                     # launches into one sweep on graph seal
+    jit: Optional[bool] = None      # compiled execution tier for sealed
+                                    # graphs (repro.kokkos.jit): lower each
+                                    # launch plan into a generated (or,
+                                    # with numba, njit) sweep and fuse
+                                    # dependent stencil chains; None defers
+                                    # to REPRO_JIT (default on); only
+                                    # meaningful with graph=True
     arena: bool = True              # workspace arena for kernel scratch
                                     # arrays (zero steady-state allocations);
                                     # False reverts to per-call allocation
@@ -422,6 +429,7 @@ class LICOMKpp:
                 self.params.asselin, self.params.bottom_drag,
                 self.params.advect_momentum, self.params.n_passive,
                 self.params.halo_fused, self.params.canuto_every,
+                self.params.graph_fuse, self.params.jit,
                 self.config.dt_baroclinic, self.config.dt_barotropic,
                 self.gamma_t, self.gamma_s)
         return (tuple(id(v) for v in views), nums)
@@ -459,7 +467,8 @@ class LICOMKpp:
             if graph is None:
                 if tr.enabled:
                     tr.instant("graph_capture", cat="model", step=self.nstep)
-                graph = LaunchGraph(self.space, fuse=self.params.graph_fuse)
+                graph = LaunchGraph(self.space, fuse=self.params.graph_fuse,
+                                    jit=self.params.jit)
                 self._capture = graph
                 try:
                     self._step_body(dt2, canuto)

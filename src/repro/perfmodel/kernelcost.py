@@ -20,6 +20,15 @@ from typing import Optional
 
 from .machines import MachineSpec
 
+#: Fraction of the per-launch fixed cost still paid when the launch is
+#: served by the compiled tier (repro.kokkos.jit).  Compilation removes
+#: the host-side interpretation of the sweep (slice walks, per-tile
+#: dispatch) but not the launch itself — spawn/join on the CPEs or the
+#: device kernel launch — so a compiled launch is modelled as a
+#: constant fraction of the machine's ``launch_overhead``, calibrated
+#: against the BENCH_step wallclock split.
+JIT_DISPATCH_FRACTION = 0.3
+
 
 @dataclass(frozen=True)
 class StepProfile:
@@ -45,9 +54,13 @@ class StepProfile:
     launches_per_sub: float
     halo3_per_step: int
     halo2_per_sub: int
-    #: Launches removed per step by the graph's elementwise-fusion pass
-    #: (flops/bytes are unchanged — fusion only merges launch boundaries).
+    #: Launches removed per step by the graph's fusion pass (flops/bytes
+    #: are unchanged — fusion only merges launch boundaries).
     launches_fused_saved: float = 0.0
+    #: Replayed launches per step served by the compiled tier
+    #: (``repro.kokkos.jit``); each pays only ``JIT_DISPATCH_FRACTION``
+    #: of the machine launch overhead.
+    launches_compiled: float = 0.0
 
     def launches(self, nsub: int) -> float:
         return self.launches_fixed + self.launches_per_sub * nsub
@@ -55,6 +68,22 @@ class StepProfile:
     def launches_graph(self, nsub: int) -> float:
         """Launches per replayed step when the graph fusion pass is on."""
         return max(0.0, self.launches(nsub) - self.launches_fused_saved)
+
+    def launch_overheads(self, nsub: int, graph: bool = False,
+                         jit: bool = False) -> float:
+        """Equivalent full-cost launches per step for the given knobs.
+
+        With ``jit`` (compiled tier on, only meaningful under
+        ``graph``), ``launches_compiled`` of the replayed launches are
+        discounted to :data:`JIT_DISPATCH_FRACTION` of a launch each —
+        the ``launches_compiled`` term that keeps predicted timelines
+        honest about what replay actually dispatches.
+        """
+        launches = self.launches_graph(nsub) if graph else self.launches(nsub)
+        if not (graph and jit):
+            return launches
+        compiled = min(self.launches_compiled, launches)
+        return launches - (1.0 - JIT_DISPATCH_FRACTION) * compiled
 
 
 #: Frozen measurement (tiny demo config, 4 steps, serial backend); see
@@ -69,7 +98,10 @@ DEFAULT_PROFILE = StepProfile(
     launches_per_sub=2.0,
     halo3_per_step=14,   # 4 momentum + 5 per tracer (diffused field, T*,
     halo2_per_sub=3,     # R+, R-, new) x 2 tracers
-    launches_fused_saved=10.0,  # 6 fused groups; see measure_graph_savings
+    launches_fused_saved=16.0,  # 10 fused groups (elementwise + halo-aware
+                                # stencil fusion); see measure_graph_savings
+    launches_compiled=30.0,     # full coverage on the tiny steady graph;
+                                # see measure_jit_coverage
 )
 
 
@@ -133,6 +165,26 @@ def measure_graph_savings(size: str = "tiny", steps: int = 3) -> float:
     return float(graph.captured_launches - graph.launches_per_replay)
 
 
+def measure_jit_coverage(size: str = "tiny", steps: int = 3) -> float:
+    """Replayed launches per step on the compiled tier, measured live.
+
+    The live counterpart of ``DEFAULT_PROFILE.launches_compiled``:
+    steps the real model with graph capture and the compiled tier on
+    and reads the sealed steady-state graph's per-kernel tiers.
+    """
+    from ..kokkos import Instrumentation, SerialBackend
+    from ..ocean import LICOMKpp, demo
+    from ..ocean.model import ModelParams
+
+    cfg = demo(size)
+    model = LICOMKpp(cfg, backend=SerialBackend(inst=Instrumentation()),
+                     params=ModelParams(graph=True, jit=True))
+    model.run_steps(max(2, steps))
+    steady = [g for (startup, _), g in model._graphs.items() if not startup]
+    graph = steady[0] if steady else next(iter(model._graphs.values()))
+    return float(graph.compiled_launches)
+
+
 def crosscheck_declared_costs(bytes_lo: float = 0.9, bytes_hi: float = 2.0):
     """Static cross-check of the declared kernel costs feeding this model.
 
@@ -167,6 +219,7 @@ def compute_time_per_step(
     nsub: int,
     fortran: bool = False,
     graph: bool = False,
+    jit: bool = False,
 ) -> float:
     """Roofline time of one rank's computation for one baroclinic step.
 
@@ -175,9 +228,11 @@ def compute_time_per_step(
     ``max(bytes/BW, flops/peak)`` plus kernel-launch overhead.  The
     ``fortran`` flag models the original LICOM3 baseline: host-only
     execution at the machine's host bandwidth and Fortran efficiency.
-    ``graph`` models step-graph replay with elementwise fusion: the
-    flop/byte work is unchanged, only ``launches_fused_saved`` fewer
-    launch overheads are paid per step.
+    ``graph`` models step-graph replay with fusion: the flop/byte work
+    is unchanged, only ``launches_fused_saved`` fewer launch overheads
+    are paid per step.  ``jit`` additionally discounts the
+    ``launches_compiled`` replayed launches to
+    :data:`JIT_DISPATCH_FRACTION` of a launch overhead each.
     """
     if fortran:
         bw = machine.host_bw * machine.host_efficiency
@@ -197,6 +252,6 @@ def compute_time_per_step(
         profile.bytes2_sub * points2_per_unit / bw,
         profile.flops2_sub * points2_per_unit / peak,
     )
-    launches = profile.launches_graph(nsub) if graph else profile.launches(nsub)
-    t_launch = launches * machine.launch_overhead
+    t_launch = profile.launch_overheads(nsub, graph, jit) \
+        * machine.launch_overhead
     return t3 + t2 + t_launch

@@ -65,7 +65,15 @@ def _leaf_duration(sp: Span, m) -> float:
         flops = float(args.get("flops", 0.0))
         streaming = nbytes / m.effective_bw_unit if nbytes else 0.0
         compute = flops / m.peak_flops_unit if flops else 0.0
-        return max(streaming, compute) + m.launch_overhead
+        overhead = m.launch_overhead
+        if args.get("jit"):
+            # compiled-tier launches (args["jit"] tier label) pay only
+            # the dispatch fraction — same discount as the perfmodel's
+            # launches_compiled term
+            from ..perfmodel.kernelcost import JIT_DISPATCH_FRACTION
+
+            overhead *= JIT_DISPATCH_FRACTION
+        return max(streaming, compute) + overhead
     if sp.cat == "halo":
         if sp.name in ("halo_pack", "halo_unpack"):
             return nbytes / m.effective_pack_bw

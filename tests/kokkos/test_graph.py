@@ -129,17 +129,42 @@ class TestLaunchGraph:
         assert g.fused_groups == 0
         assert g.launches_per_replay == 3
 
-    def test_stencil_launch_not_fused(self):
+    def test_dependent_stencil_chain_not_fused_without_jit(self):
+        # scale writes x, the stencil reads x: a dependent chain, which
+        # the interpreted (tiled) tiers must not fuse
         be = SerialBackend(inst=Instrumentation())
         x = View("x", data=np.ones((4, 6)))
         out = View("out", data=np.zeros((4, 6)))
         pol = MDRangePolicy([(0, 4), (0, 4)])
-        g = LaunchGraph(be, fuse=True)
+        g = LaunchGraph(be, fuse=True, jit=False)
         g.add_kernel("scale", pol, ScaleFunctor(x, 2.0))
         g.add_kernel("stencil", pol, StencilFunctor(x, out))
         g.seal()
         assert g.fused_groups == 0
         assert g.launches_per_replay == 2
+
+    def test_dependent_stencil_chain_fuses_with_jit(self):
+        # the compiled sweep runs whole-range with a stage barrier per
+        # part, so the same chain fuses — and stays bitwise identical
+        start = np.random.default_rng(11).normal(size=(4, 6))
+        ref_x = start.copy()
+        ref_x[:, 0:4] *= 2.0  # the policy covers columns 0..3 only
+        ref_out = np.zeros((4, 6))
+        ref_out[:, 0:4] = ref_x[:, 1:5]
+        be = SerialBackend(inst=Instrumentation())
+        x = View("x", data=start.copy())
+        out = View("out", data=np.zeros((4, 6)))
+        pol = MDRangePolicy([(0, 4), (0, 4)])
+        g = LaunchGraph(be, fuse=True, jit=True)
+        g.add_kernel("scale", pol, ScaleFunctor(x, 2.0))
+        g.add_kernel("stencil", pol, StencilFunctor(x, out))
+        g.seal()
+        assert g.fused_groups == 1
+        assert g.launches_per_replay == 1
+        assert g.compiled_launches == 1
+        g.replay()
+        np.testing.assert_array_equal(x.data, ref_x)
+        np.testing.assert_array_equal(out.data, ref_out)
 
     def test_sealed_graph_rejects_recording(self):
         be = SerialBackend(inst=Instrumentation())

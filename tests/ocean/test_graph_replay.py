@@ -63,6 +63,22 @@ class TestReplayBitwise:
                   if not startup]
         assert steady[0].fused_groups == 0
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_compiled_tier_matches_interpreted(self, backend):
+        """jit=True replay is bitwise identical to jit=False replay,
+        and actually served launches from the compiled tier."""
+        interp = _run(backend, graph=True, jit=False)
+        compiled = _run(backend, graph=True, jit=True)
+        assert _state_hash(compiled) == _state_hash(interp)
+        steady = [g for (startup, _), g in compiled._graphs.items()
+                  if not startup]
+        assert steady and steady[0].compiled_launches > 0
+        assert steady[0].jit_coverage > 0.9
+        # the interpreted run really stayed eager-tier
+        off = [g for (startup, _), g in interp._graphs.items()
+               if not startup]
+        assert off[0].compiled_launches == 0
+
 
 class TestRecapture:
     def test_recapture_on_binding_invalidation(self):
@@ -94,14 +110,20 @@ class TestArenaAllocations:
                          params=ModelParams(graph=False, arena=False))
         steps = 2
         for model, inst in ((arena, inst_arena), (eager, inst_eager)):
-            model.run_steps(2)  # warm the arena / pass the Euler step
+            # warm the arena: past the Euler step, both graph variants
+            # captured AND replayed once (the first compiled replay
+            # allocates its whole-range scratch buffers)
+            model.run_steps(3)
             inst.workspace.requests = 0
             inst.workspace.allocations = 0
             model.run_steps(steps)
         ws_arena, ws_eager = inst_arena.workspace, inst_eager.workspace
         # warm arena: every request served from the pool
         assert ws_arena.allocations == 0
-        assert ws_arena.requests > 1000 * steps
+        # the compiled tier sweeps whole-range instead of per-tile, so
+        # steady-state requests are ~64x fewer than the tiled sweep —
+        # but every kernel still takes its scratch each step
+        assert ws_arena.requests > 100 * steps
         # eager baseline allocates on every request; the issue's bar is
         # a >= 5x reduction in allocations per step
         assert ws_eager.allocations == ws_eager.requests

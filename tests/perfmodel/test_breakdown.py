@@ -31,6 +31,13 @@ class TestBreakdown:
             t = predict_step_time(CFG1, machine, units)
             assert b.total == pytest.approx(t, rel=1e-9), (machine, units)
 
+    def test_jit_shrinks_only_the_launch_component(self):
+        b = step_breakdown(CFG1, "orise", 16000, graph=True)
+        bj = step_breakdown(CFG1, "orise", 16000, graph=True, jit=True)
+        assert bj.launches < b.launches
+        assert bj.compute3 == b.compute3 and bj.compute2 == b.compute2
+        assert bj.total < b.total
+
     def test_single_rank_has_no_comm(self):
         b = step_breakdown(CFG1, "orise", 1)
         assert b.pack == b.wire == b.staging == b.polar == 0.0

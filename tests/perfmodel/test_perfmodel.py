@@ -167,3 +167,47 @@ class TestNetworkModel:
         hidden = comm_time_per_step(m, cfg, 4000, 12, 3, compute3_time=1.0)
         exposed = comm_time_per_step(m, cfg, 4000, 12, 3, compute3_time=0.0)
         assert hidden < exposed
+
+
+class TestJitLaunchDiscount:
+    def test_launch_overheads_discounts_compiled(self):
+        from repro.perfmodel.kernelcost import JIT_DISPATCH_FRACTION
+
+        p = DEFAULT_PROFILE
+        base = p.launch_overheads(10)
+        assert base == pytest.approx(p.launches(10))
+        graph = p.launch_overheads(10, graph=True)
+        assert graph == pytest.approx(p.launches_graph(10))
+        jit = p.launch_overheads(10, graph=True, jit=True)
+        saved = (1.0 - JIT_DISPATCH_FRACTION) * min(p.launches_compiled, graph)
+        assert jit == pytest.approx(graph - saved)
+        assert jit < graph < base
+        # jit without graph is meaningless: no discount
+        assert p.launch_overheads(10, jit=True) == pytest.approx(base)
+
+    def test_compiled_never_exceeds_replayed(self):
+        from dataclasses import replace as dc_replace
+
+        from repro.perfmodel.kernelcost import JIT_DISPATCH_FRACTION
+
+        p = dc_replace(DEFAULT_PROFILE, launches_compiled=1e6)
+        jit = p.launch_overheads(10, graph=True, jit=True)
+        assert jit == pytest.approx(
+            JIT_DISPATCH_FRACTION * p.launches_graph(10))
+
+    def test_default_profile_has_coverage(self):
+        assert DEFAULT_PROFILE.launches_compiled > 0
+
+    def test_measured_coverage_matches_frozen(self):
+        from repro.perfmodel.kernelcost import measure_jit_coverage
+
+        live = measure_jit_coverage("tiny", steps=3)
+        assert live == DEFAULT_PROFILE.launches_compiled
+
+    def test_compute_time_jit_cheaper_under_graph(self):
+        m = get_machine("new_sunway")
+        tg = compute_time_per_step(DEFAULT_PROFILE, m, 1e6, 1e4, 10,
+                                   graph=True)
+        tj = compute_time_per_step(DEFAULT_PROFILE, m, 1e6, 1e4, 10,
+                                   graph=True, jit=True)
+        assert tj < tg
