@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Turn a kernelcheck JSON report into GitHub Actions annotations.
+"""Turn a kernelcheck/graphcheck JSON report into GitHub annotations.
 
-Reads the ``--format=json`` output of ``python -m repro lint`` and
+Reads the ``--format=json`` output of ``python -m repro lint`` (or
+``lint --graph``) and
 emits one ``::error`` / ``::warning`` / ``::notice`` workflow command
 per finding, so violations show up inline on the pull-request diff.
 Exits 0 always — the lint step itself carries the pass/fail signal.
@@ -34,7 +35,8 @@ def main(argv: list[str]) -> int:
         message = f["detail"].replace("%", "%25").replace("\n", "%0A")
         print(f"::{level} {where},title={title}::{message}"
               if where else f"::{level} title={title}::{message}")
-    print(f"kernelcheck: {doc.get('kernels_checked', '?')} kernels, "
+    print(f"{doc.get('tool', 'kernelcheck')}: "
+          f"{doc.get('kernels_checked', '?')} kernels, "
           f"{len(findings)} unsuppressed findings, ok={doc.get('ok')}")
     return 0
 

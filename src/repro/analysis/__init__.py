@@ -26,7 +26,14 @@ from .footprint import (
     build_footprint,
     static_cost,
 )
-from .rules import ALL_RULES, RuleConfig, run_rules
+from .graphcheck import (
+    GraphLintConfig,
+    certify_fusion,
+    check_fusion_legality,
+    check_graph,
+    run_graphcheck,
+)
+from .rules import ALL_RULES, GRAPH_RULES, RuleConfig, run_rules
 from .runner import (
     DRIVER_MODULES,
     GLOBAL_ALLOWLIST,
@@ -45,6 +52,8 @@ __all__ = [
     "DRIVER_MODULES",
     "Finding",
     "GLOBAL_ALLOWLIST",
+    "GRAPH_RULES",
+    "GraphLintConfig",
     "GLOBAL_SINGLETONS",
     "KernelAnalysis",
     "KernelFootprint",
@@ -57,7 +66,11 @@ __all__ = [
     "ViewFootprint",
     "analyze_functor",
     "build_footprint",
+    "certify_fusion",
+    "check_fusion_legality",
+    "check_graph",
     "collect_footprints",
+    "run_graphcheck",
     "run_kernelcheck",
     "run_rules",
     "scan_fence_discipline",

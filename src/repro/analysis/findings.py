@@ -113,6 +113,7 @@ class Report:
     findings: List[Finding] = field(default_factory=list)
     kernels_checked: int = 0
     rules_run: List[str] = field(default_factory=list)
+    tool: str = "kernelcheck"
 
     @property
     def unsuppressed(self) -> List[Finding]:
@@ -124,6 +125,17 @@ class Report:
         return [f for f in self.unsuppressed if f.severity >= Severity.WARNING]
 
     @property
+    def errors(self) -> List[Finding]:
+        """Unsuppressed error-severity findings — the default CI gate.
+
+        Warnings and optimization-opportunity findings (INFO) surface
+        in the report and the CI annotations without failing the run;
+        ``lint --strict`` restores the warnings-fail gate via
+        :attr:`failures`.
+        """
+        return [f for f in self.unsuppressed if f.severity >= Severity.ERROR]
+
+    @property
     def ok(self) -> bool:
         return not self.failures
 
@@ -133,7 +145,7 @@ class Report:
             shown, key=lambda f: (-int(f.severity), f.rule, f.kernel))]
         n_sup = sum(1 for f in self.findings if f.suppressed)
         lines.append(
-            f"kernelcheck: {self.kernels_checked} kernels, "
+            f"{self.tool}: {self.kernels_checked} kernels, "
             f"{len(self.rules_run)} rule families, "
             f"{len(self.unsuppressed)} findings ({n_sup} suppressed)"
         )
@@ -142,6 +154,7 @@ class Report:
     def to_json(self) -> str:
         return json.dumps(
             {
+                "tool": self.tool,
                 "kernels_checked": self.kernels_checked,
                 "rules_run": self.rules_run,
                 "ok": self.ok,

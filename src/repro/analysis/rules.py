@@ -67,6 +67,21 @@ RULE_GLOBAL = "global-state"
 ALL_RULES = (RULE_RACE, RULE_HALO, RULE_SPACE, RULE_COST, RULE_ALIAS,
              RULE_GLOBAL)
 
+# -- whole-schedule rule families (repro.analysis.graphcheck) ---------------
+# Per-kernel rules above see one body at a time; these see the sealed
+# launch graph: cross-launch hazards a fusion pass introduced, halo
+# freshness across the step's exchange schedule, and fence discipline
+# between async launches and host nodes.
+
+RULE_GRAPH_RACE = "graph-race"
+RULE_STALE_HALO = "stale-halo"
+RULE_REDUNDANT_EXCHANGE = "redundant-exchange"
+RULE_DEAD_STORE = "dead-store"
+RULE_GRAPH_FENCE = "graph-fence"
+
+GRAPH_RULES = (RULE_GRAPH_RACE, RULE_STALE_HALO, RULE_REDUNDANT_EXCHANGE,
+               RULE_DEAD_STORE, RULE_GRAPH_FENCE)
+
 
 @dataclass
 class RuleConfig:

@@ -13,7 +13,10 @@ Commands
     Print the machine registry and the paper configurations.
 ``lint``
     Static analysis of every registered kernel (kernelcheck):
-    ``python -m repro lint [--format json] [--baseline file]``.
+    ``python -m repro lint [--format json] [--baseline file]``; with
+    ``--graph``, whole-schedule verification of the sealed launch
+    graphs (graphcheck) across every backend and jit mode.  The exit
+    code fails on error findings only; ``--strict`` fails on warnings.
 ``trace``
     Step a small model with span tracing on and export a Chrome
     trace-event JSON timeline (open in Perfetto / ``chrome://tracing``):
@@ -131,23 +134,36 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"cannot read baseline {args.baseline!r}: {exc}",
                   file=sys.stderr)
             return 2
-    cfg = LintConfig(baseline=baseline, scan_drivers=not args.no_drivers,
-                     scan_globals=not args.no_globals)
-    report = run_kernelcheck(cfg)
+    if args.graph:
+        # whole-schedule verification: build the demo model on every
+        # backend in both jit modes and walk each sealed launch graph
+        from .analysis import run_graphcheck
+
+        report = run_graphcheck()
+        if baseline is not None:
+            baseline.apply(report.findings)
+    else:
+        cfg = LintConfig(baseline=baseline, scan_drivers=not args.no_drivers,
+                         scan_globals=not args.no_globals)
+        report = run_kernelcheck(cfg)
     if args.write_baseline:
         Baseline().save(args.write_baseline, report.unsuppressed)
         print(f"baseline with {len(report.unsuppressed)} entries written "
               f"to {args.write_baseline}")
         return 0
+    # the exit gate fails on errors only; --strict restores the historic
+    # warnings-fail behaviour (optimization findings never gate)
+    gate = report.failures if args.strict else report.errors
     out = (report.to_json() if args.format == "json"
-           else report.to_text(verbose=args.verbose) + ("\nOK" if report.ok else ""))
+           else report.to_text(verbose=args.verbose)
+           + ("\nOK" if not gate else ""))
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text(out + "\n")
     else:
         print(out)
-    return 0 if report.ok else 1
+    return 0 if not gate else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -208,7 +224,12 @@ def _report_jit_coverage(model) -> None:
     """Per-graph compiled-tier coverage (the satellite of `trace --graph`)."""
     from collections import Counter
 
-    for (startup, canuto), graph in sorted(model._graphs.items()):
+    sealed = {key: g for key, g in model._graphs.items() if g.sealed}
+    if not sealed:
+        print("no sealed graph: the model recorded no launch graph "
+              "(graph capture off, or no step has run)")
+        return
+    for (startup, canuto), graph in sorted(sealed.items()):
         tiers = Counter(tier for _, tier in graph.kernel_tiers())
         mix = ", ".join(f"{t}:{n}" for t, n in sorted(tiers.items()))
         variant = ("startup" if startup else "steady") + \
@@ -282,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the host-side fence-discipline scan")
     lint.add_argument("--no-globals", action="store_true",
                       help="skip the global-state singleton scan")
+    lint.add_argument("--graph", action="store_true",
+                      help="verify sealed launch graphs (graphcheck) instead "
+                           "of the per-kernel rules: dataflow hazards, halo "
+                           "freshness, fence discipline across every "
+                           "backend x jit mode")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on warnings too (default: errors only)")
     lint.add_argument("-v", "--verbose", action="store_true",
                       help="also show suppressed findings")
     lint.set_defaults(func=_cmd_lint)

@@ -78,6 +78,7 @@ from .backends import (
 from .graph import (
     FusedStencilFunctor,
     FusedTileFunctor,
+    HostEffects,
     HostNode,
     KernelNode,
     LaunchGraph,
@@ -125,7 +126,7 @@ __all__ = [
     "ExecutionSpace", "SerialBackend", "OpenMPBackend", "AthreadBackend",
     "DeviceBackend", "make_backend", "Reducer", "Sum", "Prod", "Min", "Max",
     # graph capture / workspace arena
-    "LaunchGraph", "KernelNode", "HostNode", "FusedTileFunctor",
+    "LaunchGraph", "KernelNode", "HostNode", "HostEffects", "FusedTileFunctor",
     "FusedStencilFunctor", "JitCache", "numba_available", "resolve_jit",
     "Workspace", "null_workspace",
     # instrumentation / ldm

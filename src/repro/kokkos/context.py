@@ -273,8 +273,17 @@ class ExecutionContext:
         if self._null_ws is not None:
             self._null_ws.release()
         self.graph_cache.clear()
-        if self._space is not None:
-            cache = getattr(self._space, "jit_cache", None)
+        space = self._space
+        if space is None:
+            # default-context shim: the process default space (if one
+            # was ever built) carried this context's jit cache — clear
+            # it too, so a fresh context re-warns about degradations
+            # instead of inheriting the once-per-key silence
+            from .parallel import peek_default_space
+
+            space = peek_default_space()
+        if space is not None:
+            cache = getattr(space, "jit_cache", None)
             if cache is not None:
                 cache.clear()
         if self._owns_space and self._space is not None:

@@ -152,15 +152,60 @@ class KernelNode:
         return (self.policy.tile is None and other.policy.tile is None
                 and self.policy.ranges == other.policy.ranges)
 
+    def parts(self) -> List[Tuple[str, object]]:
+        """Per-plan-part ``(label, functor)`` pairs.
+
+        Fused nodes expose their member bodies; a plain launch is its
+        own single part.  This is the unit the graphcheck verifier
+        builds kernelcheck footprints for.
+        """
+        inner = getattr(self.functor, "parts", None)
+        if inner:
+            labels = getattr(self.functor, "labels", None) or \
+                [self.label] * len(inner)
+            return list(zip(labels, inner))
+        return [(self.label, self.functor)]
+
+
+class HostEffects:
+    """Declared dataflow effects of one host node.
+
+    Host closures are opaque to static analysis, so the recorder
+    declares what a node does to the views the launches around it
+    touch; the graphcheck verifier walks these between launches.
+
+    ``reads`` / ``writes`` are views (or arrays) the closure consumes /
+    fully overwrites on the host; ``halo_refresh`` are views whose
+    ghost cells the closure exchanges (an implicit interior read);
+    ``rotates`` are ``(old, cur, new)`` view triples whose *buffers*
+    the closure permutes (leapfrog rotation); ``fences`` is True when
+    the closure fences the space before touching any data.  A node
+    recorded without effects is treated as an opaque barrier.
+    """
+
+    __slots__ = ("reads", "writes", "halo_refresh", "rotates", "fences")
+
+    def __init__(self, reads: Sequence = (), writes: Sequence = (),
+                 halo_refresh: Sequence = (), rotates: Sequence = (),
+                 fences: bool = False) -> None:
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.halo_refresh = tuple(halo_refresh)
+        self.rotates = tuple(tuple(r) for r in rotates)
+        self.fences = bool(fences)
+
 
 class HostNode:
     """Host-side glue replayed verbatim between launches."""
 
-    __slots__ = ("fn", "label")
+    __slots__ = ("fn", "label", "effects")
 
-    def __init__(self, fn: Callable[[], None], label: str = "host") -> None:
+    def __init__(self, fn: Callable[[], None], label: str = "host",
+                 effects: Optional[HostEffects] = None) -> None:
         self.fn = fn
         self.label = label
+        #: Declared dataflow effects (None = opaque barrier).
+        self.effects = effects
 
 
 class LaunchGraph:
@@ -189,10 +234,13 @@ class LaunchGraph:
         self.nodes.append(KernelNode(label, as_md(policy), functor))
         self.captured_launches += 1
 
-    def add_host(self, fn: Callable[[], None], label: str = "host") -> None:
+    def add_host(self, fn: Callable[[], None], label: str = "host",
+                 effects: Optional[HostEffects] = None) -> HostNode:
         if self.sealed:
             raise RuntimeError("cannot record into a sealed LaunchGraph")
-        self.nodes.append(HostNode(fn, label))
+        node = HostNode(fn, label, effects)
+        self.nodes.append(node)
+        return node
 
     # -- fusion ------------------------------------------------------------
 
@@ -288,12 +336,19 @@ class LaunchGraph:
             return tr.span(name, cat="graph", **args)
         return _NO_SPAN
 
-    def seal(self) -> "LaunchGraph":
+    def seal(self, certify: bool = False) -> "LaunchGraph":
         """Fuse compatible launches and prepare per-backend plans.
 
         With the compiled tier on, each prepared plan is additionally
         lowered through :mod:`repro.kokkos.jit` (cached on the owning
         execution space); failures degrade per plan to the eager tier.
+
+        With ``certify=True`` the sealed schedule is re-proven by the
+        independent graphcheck verifier
+        (:func:`repro.analysis.graphcheck.certify_fusion`): any fused
+        node whose parts it cannot prove tiling-safe on an interpreted
+        tier raises :class:`~repro.errors.GraphCertificationError`
+        instead of sealing a schedule that could diverge from eager.
         """
         if self.sealed:
             return self
@@ -313,6 +368,15 @@ class LaunchGraph:
                     final.append(node)
             self.nodes = final
         self.sealed = True
+        if certify:
+            from ..analysis.graphcheck import certify_fusion
+            from ..errors import GraphCertificationError
+
+            refused = certify_fusion(self)
+            if refused:
+                raise GraphCertificationError(
+                    "sealed graph failed fusion certification:\n"
+                    + "\n".join(f.format() for f in refused))
         return self
 
     def _prepare_node(self, node: KernelNode, cache, out: List[object]) -> None:

@@ -354,9 +354,36 @@ def compile_sweep(space, label: str, policy, functor,
 
 # -- stencil-fusion dependency analysis -------------------------------------
 
+#: (functor_type, ndim) -> kernelcheck footprint (None on analyzer crash).
+_FP_CACHE: Dict[Tuple[type, int], object] = {}
+
 #: (functor_type, ndim) -> (read attr names, written attr names) or None
 #: when the static analysis could not prove anything (conservative).
 _RW_CACHE: Dict[Tuple[type, int], Optional[Tuple[frozenset, frozenset]]] = {}
+
+
+def part_footprint(ftype: type, ndim: int):
+    """Cached kernelcheck footprint of one plan part.
+
+    Every sealed plan's per-part read/write/offset sets come from here:
+    the fusion pass consumes the name sets (:func:`parts_independent`)
+    and the whole-graph verifier (``repro.analysis.graphcheck``)
+    consumes the full footprint.  Returns ``None`` when the static
+    analyzer itself fails (callers must stay conservative); a footprint
+    whose ``error`` is set means the body resisted analysis.
+    """
+    key = (ftype, ndim)
+    if key in _FP_CACHE:
+        return _FP_CACHE[key]
+    fp = None
+    try:
+        from ..analysis.footprint import build_footprint
+
+        fp = build_footprint(ftype.__name__, ftype, ndim=ndim, kind="for")
+    except Exception:
+        fp = None
+    _FP_CACHE[key] = fp
+    return fp
 
 
 def _rw_attr_names(ftype: type, ndim: int):
@@ -364,22 +391,17 @@ def _rw_attr_names(ftype: type, ndim: int):
     if key in _RW_CACHE:
         return _RW_CACHE[key]
     result = None
-    try:
-        from ..analysis.footprint import build_footprint
-
-        fp = build_footprint(ftype.__name__, ftype, ndim=ndim, kind="for")
-        if fp.error is None:
-            reads, writes = set(), set()
-            for name, vf in fp.views.items():
-                if vf.kind == "attr":
-                    continue  # scalar parameters cannot alias arrays
-                if vf.reads or vf.raw_reads:
-                    reads.add(name)
-                if vf.writes or vf.aug_writes:
-                    writes.add(name)
-            result = (frozenset(reads), frozenset(writes))
-    except Exception:
-        result = None
+    fp = part_footprint(ftype, ndim)
+    if fp is not None and fp.error is None:
+        reads, writes = set(), set()
+        for name, vf in fp.views.items():
+            if vf.kind == "attr":
+                continue  # scalar parameters cannot alias arrays
+            if vf.reads or vf.raw_reads:
+                reads.add(name)
+            if vf.writes or vf.aug_writes:
+                writes.add(name)
+        result = (frozenset(reads), frozenset(writes))
     _RW_CACHE[key] = result
     return result
 

@@ -46,6 +46,16 @@ def is_initialized() -> bool:
     return _default_space is not None
 
 
+def peek_default_space() -> Optional[ExecutionSpace]:
+    """The default space if one exists, without ever constructing it.
+
+    ``ExecutionContext.close`` uses this to clear per-space caches of
+    the default-context shim (``backend=None``) — building a backend
+    just to clear its empty caches would be absurd.
+    """
+    return _default_space
+
+
 def default_space() -> ExecutionSpace:
     """The current default execution space.
 

@@ -33,6 +33,7 @@ from ..errors import StabilityError
 from ..kokkos import (
     ExecutionContext,
     ExecutionSpace,
+    HostEffects,
     LaunchGraph,
     MDRangePolicy,
     View,
@@ -401,10 +402,17 @@ class LICOMKpp:
             self._capture.add_kernel(label, policy, functor)
         self.space.parallel_for(label, policy, functor)
 
-    def _host(self, fn, label: str = "host") -> None:
-        """Run host-side glue, recording the closure when capturing."""
+    def _host(self, fn, label: str = "host",
+              effects: Optional[HostEffects] = None) -> None:
+        """Run host-side glue, recording the closure when capturing.
+
+        ``effects`` declares the closure's dataflow (reads, writes, halo
+        refreshes, rotations, fencing) for the graphcheck verifier; an
+        undeclared node is treated as an opaque barrier, which is sound
+        but hides schedule bugs from the dataflow walk.
+        """
         if self._capture is not None:
-            self._capture.add_host(fn, label)
+            self._capture.add_host(fn, label, effects)
         fn()
 
     def _binding_signature(self) -> tuple:
@@ -535,11 +543,17 @@ class LICOMKpp:
                     DepthMeanFunctor(st.u.new, self.um, d))
                 run("depth_mean_v_new", self.p_full2,
                     DepthMeanFunctor(st.v.new, self.vm, d))
-                self._host(lambda: self._update_gforce(dt2), "gforce")
+                self._host(lambda: self._update_gforce(dt2), "gforce",
+                           HostEffects(
+                               reads=(self.um, self.um_old,
+                                      self.vm, self.vm_old),
+                               writes=(self.gx, self.gy), fences=True))
                 run("coriolis_rotation", self.p_int3,
                     CoriolisRotationFunctor(st.u.new, st.v.new,
                                             st.u.old, st.v.old, d, dt2))
-            self._host(self._halo_uv_new, "halo_momentum")
+            self._host(self._halo_uv_new, "halo_momentum",
+                       HostEffects(halo_refresh=(st.u.new, st.v.new),
+                                   fences=True))
 
             # -- split-explicit barotropic mode -----------------------------
             with self.timers.timer("barotropic"):
@@ -557,7 +571,11 @@ class LICOMKpp:
                         AsselinFilterFunctor(f.old, f.cur, f.new, a))
                 run("asselin_filter_ssh", self.p_full2,
                     _Asselin2D(st.ssh.old, st.ssh.cur, st.ssh.new, a))
-                self._host(self._rotate_state, "rotate")
+                self._host(self._rotate_state, "rotate",
+                           HostEffects(
+                               rotates=[(f.old, f.cur, f.new) for f in
+                                        st.leapfrog_fields().values()],
+                               fences=True))
 
     # -- host-side glue (captured as graph host nodes) -------------------
 
@@ -631,12 +649,15 @@ class LICOMKpp:
         # adjacent (fusible) — strip_u never reads negv, so no fence between
         run("depth_mean_u_new", self.p_full2, DepthMeanFunctor(st.u.new, self.um, d))
         run("depth_mean_v_new", self.p_full2, DepthMeanFunctor(st.v.new, self.vm, d))
-        self._host(self._negate_means, "negate_means")
+        self._host(self._negate_means, "negate_means",
+                   HostEffects(reads=(self.um, self.vm),
+                               writes=(self.negu, self.negv), fences=True))
         run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.negu, d))
         run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.negv, d))
 
         # subcycle state: start from (eta, ubar) at the current level
-        self._host(self._eta_init, "eta_init")
+        self._host(self._eta_init, "eta_init",
+                   HostEffects(reads=(st.ssh.cur,), writes=(self.eta,)))
         run("depth_mean_u_cur", self.p_full2, DepthMeanFunctor(st.u.cur, st.ub, d))
         run("depth_mean_v_cur", self.p_full2, DepthMeanFunctor(st.v.cur, st.vb, d))
 
@@ -648,18 +669,26 @@ class LICOMKpp:
         for i in range(steps):
             # sub-step boundary marker rides as a host node so replayed
             # graphs keep it on the timeline (no-op unless tracing)
-            self._host(lambda i=i: self._substep_mark(i), "substep")
-            self._host(self._eta_snapshot, "eta_prev")
+            self._host(lambda i=i: self._substep_mark(i), "substep",
+                       HostEffects())  # declared no-op: touches no field
+            self._host(self._eta_snapshot, "eta_prev",
+                       HostEffects(reads=(self.eta,),
+                                   writes=(self.eta_prev,)))
             run("barotropic_continuity", self.p_int2, cont)
-            self._host(self._halo_eta, "halo_eta")
+            self._host(self._halo_eta, "halo_eta",
+                       HostEffects(halo_refresh=(self.eta,), fences=True))
             run("barotropic_momentum", self.p_int2, mom)
-            self._host(self._halo_ubvb, "halo_ubvb")
+            self._host(self._halo_ubvb, "halo_ubvb",
+                       HostEffects(halo_refresh=(st.ub, st.vb), fences=True))
 
-        self._host(self._ssh_from_eta, "ssh_store")
+        self._host(self._ssh_from_eta, "ssh_store",
+                   HostEffects(reads=(self.eta,), writes=(st.ssh.new,)))
         # re-attach the subcycled barotropic mode
         run("add_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, st.ub, d))
         run("add_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, st.vb, d))
-        self._host(self._halo_uv_new, "halo_momentum")
+        self._host(self._halo_uv_new, "halo_momentum",
+                   HostEffects(halo_refresh=(st.u.new, st.v.new),
+                               fences=True))
 
     def _tracer_suite(self, dt2: float) -> None:
         """Advance every tracer (T, S, passives) one step.
@@ -713,23 +742,28 @@ class LICOMKpp:
                 self._halo3_group([(fld.new, 1.0, 0.0) for fld, _, _ in tracers])
 
         # stage 1 — diffuse-then-advect: work = old + dt * div(k grad old)
-        self._host(seed_work, "tracer_seed")
+        self._host(seed_work, "tracer_seed",
+                   HostEffects(reads=[fld.old for fld, _, _ in tracers],
+                               writes=work[:n]))
         for i, (fld, _, _) in enumerate(tracers):
             run("tracer_hdiff", self.p_int2,
                 TracerHDiffusionFunctor(fld.old, work[i], d, dt2, self.tdiff))
-        self._host(halo_work, "halo_tracer")
+        self._host(halo_work, "halo_tracer",
+                   HostEffects(halo_refresh=work[:n], fences=True))
         # stage 2 — low-order predictor
         for i in range(n):
             run("advect_tracer_predictor", self.p_int2,
                 AdvectPredictorFunctor(work[i], st.u.cur, st.v.cur, st.w,
                                        tst[i], d, dt2))
-        self._host(halo_tstar, "halo_tracer")
+        self._host(halo_tstar, "halo_tracer",
+                   HostEffects(halo_refresh=tst[:n], fences=True))
         # stage 3 — FCT limiters: every tracer's R+ and R- in one message
         for i in range(n):
             run("advect_tracer_limits", self.p_int2,
                 FCTLimitFunctor(work[i], tst[i], st.u.cur, st.v.cur,
                                 st.w, rp[i], rm[i], d, dt2))
-        self._host(halo_limits, "halo_tracer")
+        self._host(halo_limits, "halo_tracer",
+                   HostEffects(halo_refresh=rp[:n] + rm[:n], fences=True))
         # stage 4 — limited apply + implicit vertical operator
         for i, (fld, star2d, gamma) in enumerate(tracers):
             run("advect_tracer_apply", self.p_int2,
@@ -738,7 +772,9 @@ class LICOMKpp:
             run("vertical_tracer_diffusion", self.p_int2,
                 VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
                                                gamma, d, dt2))
-        self._host(halo_new, "halo_tracer")
+        self._host(halo_new, "halo_tracer",
+                   HostEffects(halo_refresh=[fld.new for fld, _, _ in tracers],
+                               fences=True))
 
     def _tracer_step(self, i: int, fld, star2d: np.ndarray, gamma: float,
                      dt2: float) -> None:
@@ -770,26 +806,30 @@ class LICOMKpp:
                 self._halo3(rp, fill=1.0)
                 self._halo3(rm, fill=1.0)
 
+        def refresh(*views) -> HostEffects:
+            return HostEffects(halo_refresh=views, fences=True)
+
         # diffuse-then-advect: work = old + dt * div(k grad old)
-        self._host(seed_work, "tracer_seed")
+        self._host(seed_work, "tracer_seed",
+                   HostEffects(reads=(fld.old,), writes=(work,)))
         run("tracer_hdiff", self.p_int2,
             TracerHDiffusionFunctor(fld.old, work, d, dt2, self.tdiff))
-        self._host(halo_one(work), "halo_tracer")
+        self._host(halo_one(work), "halo_tracer", refresh(work))
         run("advect_tracer_predictor", self.p_int2,
             AdvectPredictorFunctor(work, st.u.cur, st.v.cur, st.w,
                                    tst, d, dt2))
-        self._host(halo_one(tst), "halo_tracer")
+        self._host(halo_one(tst), "halo_tracer", refresh(tst))
         run("advect_tracer_limits", self.p_int2,
             FCTLimitFunctor(work, tst, st.u.cur, st.v.cur,
                             st.w, rp, rm, d, dt2))
-        self._host(halo_limits, "halo_tracer")
+        self._host(halo_limits, "halo_tracer", refresh(rp, rm))
         run("advect_tracer_apply", self.p_int2,
             FCTApplyFunctor(tst, st.u.cur, st.v.cur, st.w,
                             rp, rm, fld.new, d, dt2))
         run("vertical_tracer_diffusion", self.p_int2,
             VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
                                            gamma, d, dt2))
-        self._host(halo_one(fld.new), "halo_tracer")
+        self._host(halo_one(fld.new), "halo_tracer", refresh(fld.new))
 
     # ------------------------------------------------------------------
     # driving and output

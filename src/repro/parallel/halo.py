@@ -27,7 +27,8 @@ All variants produce identical ghost values; the tests enforce it.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -286,6 +287,28 @@ def exchange3d(
     return arr
 
 
+@dataclass
+class ExchangeEvent:
+    """Metadata for one halo exchange the updater performed.
+
+    The graphcheck declaration-consistency test replays a captured step
+    with recording on and reconciles these events against the host
+    nodes' declared ``halo_refresh`` sets — so the static schedule the
+    verifier walks provably matches what the exchange layer did.
+
+    ``messages`` is exact for fused exchanges (diffed from the fused
+    path's send counter) and an upper-bound estimate of 4 per field for
+    the per-field paths (N/fold + S + E + W; closed boundaries send
+    fewer).
+    """
+
+    kind: str                       # "2d" | "3d" | "fused"
+    phase: Optional[str]
+    fields: int                     # member fields exchanged
+    shapes: Tuple[Tuple[int, ...], ...]
+    messages: int
+
+
 class HaloUpdater:
     """Bundles (comm, decomp, rank) for convenient repeated updates.
 
@@ -293,6 +316,10 @@ class HaloUpdater:
     updater owns a :class:`~repro.parallel.halo_fused.FusedHaloExchange`
     (built lazily) whose persistent buffer pool makes repeated
     :meth:`update_many` calls allocation-free in steady state.
+
+    Setting :attr:`events` to a list (see :meth:`record_events`) makes
+    every update append an :class:`ExchangeEvent`; ``None`` (the
+    default) keeps the hot path free of any recording work.
     """
 
     def __init__(
@@ -318,7 +345,13 @@ class HaloUpdater:
         self.updates3d = 0
         #: Count of fused exchanges (message-level events).
         self.fused_exchanges = 0
+        #: Exchange-event log (None = recording off).
+        self.events: Optional[List[ExchangeEvent]] = None
         self._fused = None
+
+    def record_events(self, on: bool = True) -> None:
+        """Switch the exchange-event log on (fresh list) or off."""
+        self.events = [] if on else None
 
     @property
     def fused(self):
@@ -337,11 +370,15 @@ class HaloUpdater:
 
     def update2d(self, arr: np.ndarray, sign: float = 1.0, fill: float = 0.0) -> np.ndarray:
         self.updates2d += 1
+        if self.events is not None:
+            self.events.append(ExchangeEvent("2d", None, 1, (arr.shape,), 4))
         return exchange2d(self.comm, self.decomp, self.rank, arr,
                           sign=sign, fill=fill, packer=self.packer)
 
     def update3d(self, arr: np.ndarray, sign: float = 1.0, fill: float = 0.0) -> np.ndarray:
         self.updates3d += 1
+        if self.events is not None:
+            self.events.append(ExchangeEvent("3d", None, 1, (arr.shape,), 4))
         return exchange3d(self.comm, self.decomp, self.rank, arr,
                           sign=sign, fill=fill, method=self.method3d)
 
@@ -362,4 +399,11 @@ class HaloUpdater:
             else:
                 self.updates3d += 1
         self.fused_exchanges += 1
-        self.fused.exchange(specs, phase=phase)
+        fused = self.fused
+        sent0 = fused.messages_sent
+        fused.exchange(specs, phase=phase)
+        if self.events is not None:
+            self.events.append(ExchangeEvent(
+                "fused", phase, len(specs),
+                tuple(s.arr.shape for s in specs),
+                fused.messages_sent - sent0))

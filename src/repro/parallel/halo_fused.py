@@ -183,6 +183,11 @@ class FusedHaloExchange:
         self.ly, self.lx = decomp.local_shape(self.rank)
         #: Fused exchanges performed (each is one 2-phase update).
         self.exchanges = 0
+        #: Fused messages sent over the exchange's lifetime; readers
+        #: diff this around an exchange to learn its message count
+        #: (the exchange-event metadata :class:`~.halo.HaloUpdater`
+        #: records).
+        self.messages_sent = 0
         self._plans: Dict[Tuple, _Plan] = {}
 
     # -- slab geometry ------------------------------------------------------
@@ -322,6 +327,7 @@ class FusedHaloExchange:
                 buf[off:off + n].reshape(shape)[...] = \
                     self._send_slab(specs[i], where)
         self.comm.send(buf, dest, tag, move=True, phase=phase)
+        self.messages_sent += 1
 
     def _wait(self, req: Request, plan: _Plan, g: int, who: str,
               kind: str) -> np.ndarray:

@@ -200,6 +200,39 @@ class TestHaloUpdater:
         assert np.array_equal(a, b)
 
 
+class TestExchangeEvents:
+    def test_record_events_logs_each_update(self, rng):
+        d = BlockDecomposition(16, 16, 1, 1)
+        u = HaloUpdater(SingleComm(), d)
+        arr2 = d.scatter_global(rng.standard_normal((16, 16)), 0)
+        arr3 = d.scatter_global(rng.standard_normal((3, 16, 16)), 0)
+        u.update2d(arr2)                    # before recording: nothing kept
+        assert u.events is None
+        u.record_events()
+        u.update2d(arr2)
+        u.update3d(arr3)
+        u.update_many([arr2, arr3], phase="tracer")
+        assert [e.kind for e in u.events] == ["2d", "3d", "fused"]
+        fused = u.events[-1]
+        assert fused.fields == 2 and fused.phase == "tracer"
+        assert fused.shapes == (arr2.shape, arr3.shape)
+        assert fused.messages >= 0          # exact diff of the send counter
+        u.record_events(False)
+        u.update2d(arr2)
+        assert u.events is None             # hot path back to zero recording
+
+    def test_event_recording_does_not_change_results(self, rng):
+        g = rng.standard_normal((16, 16))
+        d = BlockDecomposition(16, 16, 1, 1)
+        a, b = d.scatter_global(g, 0), d.scatter_global(g, 0)
+        u = HaloUpdater(SingleComm(), d)
+        u.record_events()
+        u.update2d(a)
+        exchange2d(SingleComm(), d, 0, b)
+        assert np.array_equal(a, b)
+        assert len(u.events) == 1
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     ny=st.integers(10, 30),
