@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark: thread-backed vs process-backed SimWorld ranks.
+
+Times the steady-state stepping region of multi-step tiny-grid
+integrations over 1/2/4/8 ranks on both rank substrates and writes
+``BENCH_ranks.json``: steps/sec per (mode, ranks) cell, the
+process/thread speedup per rank count, and the host core count.
+
+Each rank times its own stepping loop (after a one-step warmup); a
+cell's time is the slowest rank's — spawn, import and model build are
+deliberately outside the timed region, because they amortize over a
+real integration while the stepping rate is what the substrate changes.
+Thread mode runs every rank under one GIL, so its aggregate rate cannot
+scale with ranks; process mode gives each rank its own interpreter and
+shared-memory halo traffic, so on a host with enough cores the 4-rank
+process run should beat the 4-rank thread run by >=2x.  On fewer cores
+the speedup degrades honestly toward parity (IPC overhead included) —
+the ``cores`` field records what the numbers mean, and the absolute
+gate only applies when the cores are there.
+
+Before timing is trusted, every cell's final prognostic state is
+checked bitwise against the 1-rank serial reference — a speedup on
+wrong fields is worthless.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ranks_wallclock.py
+    PYTHONPATH=src python benchmarks/bench_ranks_wallclock.py --quick
+
+``--quick`` is the CI smoke: 2 ranks, 2 steps, identity check plus one
+timed cell per mode, no thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+ARTIFACTS = pathlib.Path(__file__).parent / "artifacts"
+WARMUP_STEPS = 1
+
+
+def bench_rank_program(comm, cfg, backend, decomp, steps):
+    """Per-rank body: build, warm up, time the stepping region.
+
+    Module level so process mode can pickle it for spawn (children
+    re-import this file as ``__mp_main__``).
+    """
+    from repro.ocean.model import LICOMKpp, STATE_FIELDS
+
+    model = LICOMKpp(cfg, backend=backend, comm=comm, decomp=decomp)
+    try:
+        model.run_steps(WARMUP_STEPS)
+        comm.barrier()  # all ranks enter the timed region together
+        t0 = time.perf_counter()
+        model.run_steps(steps)
+        elapsed = time.perf_counter() - t0
+        state = {f: getattr(model.state, f).cur.raw.copy()
+                 for f in STATE_FIELDS}
+        return {"rank": comm.rank, "elapsed": elapsed, "state": state}
+    finally:
+        model.close()
+
+
+def _gather_global(results, decomp):
+    """Stitch rank states back into global interior fields."""
+    from repro.ocean.model import STATE_FIELDS
+
+    ordered = sorted(results, key=lambda r: r["rank"])
+    return {fld: decomp.gather_global([r["state"][fld] for r in ordered])
+            for fld in STATE_FIELDS}
+
+
+def _run_cell(cfg, ranks, steps, mode, backend="serial"):
+    """One benchmark cell: (slowest-rank stepping seconds, global fields)."""
+    from repro.parallel.comm import SimWorld
+    from repro.parallel.decomp import BlockDecomposition, choose_process_grid
+
+    npy, npx = choose_process_grid(cfg.ny, cfg.nx, ranks)
+    decomp = BlockDecomposition(cfg.ny, cfg.nx, npy, npx)
+    results = SimWorld.run(bench_rank_program, ranks, mode=mode,
+                           args=(cfg, backend, decomp, steps))
+    elapsed = max(r["elapsed"] for r in results)
+    return elapsed, _gather_global(results, decomp)
+
+
+def run_benchmark(steps: int, rank_counts, repeats: int = 2) -> dict:
+    from repro.ocean import demo
+
+    cfg = demo("tiny")
+    # bitwise reference: single-rank serial
+    _, reference = _run_cell(cfg, 1, steps, "thread")
+
+    cells = {}
+    for ranks in rank_counts:
+        for mode in ("thread", "process"):
+            best = float("inf")
+            for _ in range(repeats):
+                elapsed, fields = _run_cell(cfg, ranks, steps, mode)
+                best = min(best, elapsed)
+            for fld, ref in reference.items():
+                if not np.array_equal(fields[fld], ref):
+                    raise SystemExit(
+                        f"FAIL: {mode} mode at {ranks} ranks diverged from "
+                        f"the serial reference on field {fld!r}")
+            cells[f"{mode}_{ranks}"] = {"seconds": best,
+                                        "steps_per_sec": steps / best}
+
+    speedups = {
+        ranks: (cells[f"thread_{ranks}"]["seconds"]
+                / cells[f"process_{ranks}"]["seconds"])
+        for ranks in rank_counts
+    }
+    return {
+        "config": {"size": "tiny", "backend": "serial", "steps": steps,
+                   "repeats": repeats, "rank_counts": list(rank_counts),
+                   "timed_region": "stepping only (post-warmup, "
+                                   "slowest rank)"},
+        "cores": os.cpu_count(),
+        "cells": cells,
+        "process_over_thread_speedup": {str(r): s
+                                        for r, s in speedups.items()},
+        "bitwise_identical": True,
+    }
+
+
+def run_quick() -> int:
+    """CI smoke: identity at 2 ranks plus one timed cell per mode."""
+    from repro.ocean import demo
+
+    cfg = demo("tiny")
+    _, reference = _run_cell(cfg, 1, 2, "thread")
+    for mode in ("thread", "process"):
+        elapsed, fields = _run_cell(cfg, 2, 2, mode)
+        for fld, ref in reference.items():
+            if not np.array_equal(fields[fld], ref):
+                print(f"FAIL: {mode} mode diverged on {fld!r}",
+                      file=sys.stderr)
+                return 1
+        print(f"quick: {mode:7s} 2 ranks x 2 steps in {elapsed:.3f}s "
+              "(bitwise identical to serial)")
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke: 2 ranks, identity check, no thresholds")
+    ap.add_argument("--steps", type=int, default=8)
+    ap.add_argument("--ranks", type=int, nargs="+", default=[1, 2, 4, 8])
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=ARTIFACTS / "BENCH_ranks.json")
+    ap.add_argument("--min-speedup-4", type=float, default=2.0,
+                    help="required 4-rank process/thread speedup (only "
+                         "enforced when the host has >= 4 cores)")
+    args = ap.parse_args(argv)
+
+    if args.quick:
+        return run_quick()
+
+    result = run_benchmark(args.steps, args.ranks)
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    print(f"host cores: {result['cores']}")
+    for ranks in args.ranks:
+        t = result["cells"][f"thread_{ranks}"]["steps_per_sec"]
+        p = result["cells"][f"process_{ranks}"]["steps_per_sec"]
+        s = result["process_over_thread_speedup"][str(ranks)]
+        print(f"ranks={ranks}: thread {t:7.2f} steps/s   "
+              f"process {p:7.2f} steps/s   speedup {s:.2f}x")
+
+    cores = result["cores"] or 1
+    speedup4 = float(result["process_over_thread_speedup"].get("4", 0.0))
+    if 4 in args.ranks and cores >= 4 and speedup4 < args.min_speedup_4:
+        print(f"FAIL: 4-rank process/thread speedup {speedup4:.2f}x "
+              f"< {args.min_speedup_4}x on a {cores}-core host",
+              file=sys.stderr)
+        return 1
+    if cores < 4:
+        print(f"note: {cores}-core host cannot demonstrate multi-core "
+              "scaling; speedup gate skipped (numbers above are honest "
+              "single-core results)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

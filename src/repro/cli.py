@@ -186,19 +186,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             _report_jit_coverage(model)
         model.close()
     else:
-        from .parallel import BlockDecomposition, SimWorld
+        # multi-rank: thread mode runs ranks in-process, process mode
+        # spawns one OS process per rank (shared-memory halo traffic)
+        # and ships each rank's tracer home in its exit report
+        from .ocean.model import run_distributed
 
-        d = BlockDecomposition(cfg.ny, cfg.nx, args.ranks, 1)
-
-        def prog(comm):
-            m = LICOMKpp(cfg, backend=args.backend, comm=comm, decomp=d,
-                         params=params)
-            m.run_steps(args.steps)
-            ctx = m.context
-            m.close()
-            return ctx
-
-        tracers = [ctx.tracer for ctx in SimWorld.run(prog, d.size)]
+        results, _world = run_distributed(
+            cfg, args.ranks, args.steps, backend=args.backend,
+            params=params, mode=args.mode)
+        tracers = [r.tracer for r in results]
 
     trace = chrome_trace(tracers)
     problems = validate_chrome_trace(trace)
@@ -324,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["serial", "openmp", "athread", "cuda", "hip"])
     tr.add_argument("--ranks", type=int, default=1,
                     help="SimWorld ranks (one trace lane group per rank)")
+    tr.add_argument("--mode", default="thread",
+                    choices=["thread", "process"],
+                    help="rank substrate: in-process threads (default) or "
+                         "one OS process per rank with shared-memory halos")
     tr.add_argument("--graph", action="store_true",
                     help="capture/replay the step graph while tracing")
     tr.add_argument("--out", default="trace.json",

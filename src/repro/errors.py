@@ -68,6 +68,28 @@ class CommunicationError(ParallelError):
     """A simulated-MPI communication call was used incorrectly."""
 
 
+class RemoteRankError(CommunicationError):
+    """A rank in a process-backed world failed (or its worker died).
+
+    Raw exceptions do not pickle usefully across process boundaries, so
+    the worker runtime captures the remote exception's type name,
+    message and full traceback *text* and the parent re-raises this
+    carrier.  ``remote_traceback`` is ``None`` when the worker was
+    killed before it could report (e.g. SIGKILL / OOM).
+    """
+
+    def __init__(self, rank: int, exc_type: str, message: str,
+                 remote_traceback: "str | None" = None) -> None:
+        self.rank = int(rank)
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        detail = f"rank {rank} failed with {exc_type}: {message}"
+        if remote_traceback:
+            detail += f"\n--- remote traceback (rank {rank}) ---\n" \
+                      + remote_traceback.rstrip()
+        super().__init__(detail)
+
+
 class TraceError(ReproError):
     """A span tracer was used out of protocol (unbalanced begin/end)."""
 

@@ -256,6 +256,23 @@ class ExecutionContext:
         if getattr(comm, "tracer", None) is None:
             comm.tracer = self.tracer
 
+    def export_rank_data(self) -> Dict[str, object]:
+        """The context's measurement state as a small picklable dict.
+
+        Contexts themselves do not cross process boundaries (they own a
+        live backend, arenas, compiled sweeps); what a process-mode
+        worker ships home is this bundle — the instrumentation ledger,
+        the per-rank traffic ledger (if a comm ever attached) and the
+        tracer with its recorded timeline.
+        """
+        return {
+            "rank": self.rank,
+            "name": self.name,
+            "inst": self.inst,
+            "traffic": self._traffic,
+            "tracer": self.tracer,
+        }
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:

@@ -76,6 +76,16 @@ class TransferLedger:
         if tr is not None and tr.enabled:
             tr.instant("DMA", cat="xfer", bytes=float(nbytes))
 
+    # Ledgers cross process boundaries in worker exit reports; the
+    # tracer back-reference is rank-local wiring and does not travel.
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state["tracer"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
 
 @dataclass
 class WorkspaceStats:
@@ -199,6 +209,17 @@ class Instrumentation:
             mw.bytes_served += w.bytes_served
             mw.bytes_allocated += w.bytes_allocated
         return self
+
+    # Instrumentation rides home in process-mode worker reports; the
+    # lock is process-local and is rebuilt on unpickle.
+    def __getstate__(self) -> Dict[str, object]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def reset(self) -> None:
         """Clear all statistics (the ledger and arena counters included)."""

@@ -8,7 +8,14 @@ computation/communication overlap (:mod:`.overlap`).
 """
 
 from .comm import Request, SimComm, SimWorld, SingleComm, TrafficLedger
-from .decomp import DEFAULT_HALO, Block, BlockDecomposition, choose_process_grid
+from .decomp import (
+    DEFAULT_HALO,
+    Block,
+    BlockDecomposition,
+    Partitioner,
+    Placement,
+    choose_process_grid,
+)
 from .halo import (
     HaloUpdater,
     PACKERS,
@@ -37,6 +44,12 @@ from .loadbalance import (
     naive_column_compute,
     partition_evenly,
 )
+from .procworld import ProcComm, ProcessRunResult, run_process_world
+from .shm import (
+    SharedBufferPool,
+    list_world_segments,
+    sweep_world_segments,
+)
 from .overlap import (
     boundary_strip,
     interior_core,
@@ -48,6 +61,9 @@ from .overlap import (
 __all__ = [
     "SimWorld", "SimComm", "SingleComm", "Request", "TrafficLedger",
     "BlockDecomposition", "Block", "choose_process_grid", "DEFAULT_HALO",
+    "Placement", "Partitioner",
+    "ProcComm", "ProcessRunResult", "run_process_world",
+    "SharedBufferPool", "list_world_segments", "sweep_world_segments",
     "exchange2d", "exchange3d", "HaloUpdater", "PACKERS",
     "pack_naive", "pack_sliced", "pack_kernel",
     "FusedHaloExchange", "FieldSpec", "BufferPool", "as_field_specs",

@@ -123,6 +123,38 @@ class TrafficLedger:
             self.by_phase.clear()
             self.size_hist.clear()
 
+    def merge_from(self, other: "TrafficLedger") -> "TrafficLedger":
+        """Fold another ledger's counters into this one (in place).
+
+        Process mode uses this to merge each worker's per-rank ledger
+        back into the world ledger on exit, so load-imbalance terms and
+        the ``by_phase``/``size_hist`` shape counters stay exact.
+        """
+        with self._lock:
+            self.messages += other.messages
+            self.bytes += other.bytes
+            for pair, nbytes in other.by_pair.items():
+                self.by_pair[pair] = self.by_pair.get(pair, 0.0) + nbytes
+            self.collectives += other.collectives
+            for phase, (count, nbytes) in other.by_phase.items():
+                slot = self.by_phase.setdefault(phase, [0, 0.0])
+                slot[0] += count
+                slot[1] += nbytes
+            for b, n in other.size_hist.items():
+                self.size_hist[b] = self.size_hist.get(b, 0) + n
+        return self
+
+    # Ledgers cross process boundaries (worker -> parent merge); the
+    # lock is process-local state and is rebuilt on unpickle.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
 
 class _Mailbox:
     """Blocking FIFO for one (src, dst, tag) channel."""
@@ -196,14 +228,29 @@ class Request:
 
 
 class SimWorld:
-    """The shared communication fabric for ``size`` simulated ranks."""
+    """The shared communication fabric for ``size`` simulated ranks.
 
-    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
+    ``mode`` selects the execution substrate: ``"thread"`` (default)
+    runs every rank as a thread inside this process over the in-memory
+    mailboxes below; ``"process"`` spawns one OS process per rank and
+    routes traffic over the shared-memory transport in
+    :mod:`repro.parallel.procworld` — same program, same collective
+    semantics, real multi-core parallelism.
+    """
+
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT,
+                 mode: str = "thread") -> None:
         if size < 1:
             raise ValueError("world size must be >= 1")
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown world mode {mode!r}")
         self.size = size
         self.timeout = timeout
+        self.mode = mode
         self.traffic = TrafficLedger()
+        #: Per-rank ledgers merged back from workers (process mode only).
+        self.rank_traffic: Dict[int, TrafficLedger] = {}
+        self._failed = False
         self._boxes: Dict[Tuple[int, int, int], _Mailbox] = {}
         self._boxes_lock = threading.Lock()
         self._barrier = threading.Barrier(size)
@@ -227,6 +274,23 @@ class SimWorld:
 
     # -- collective rendezvous --------------------------------------------
 
+    def _barrier_wait(self) -> None:
+        """Barrier wait honouring the world ``timeout``.
+
+        A genuine timeout (one wedged rank, nobody failed yet) raises
+        :class:`CommunicationError`; a barrier broken *because* another
+        rank already failed re-raises ``BrokenBarrierError`` so
+        :meth:`run` can keep preferring the root-cause exception.
+        """
+        try:
+            self._barrier.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            if self._failed:
+                raise
+            raise CommunicationError(
+                f"barrier wait timed out after {self.timeout}s (deadlock?)"
+            ) from None
+
     def _collective(self, name: str, seq: int, rank: int, value: Any,
                     combine: Callable[[List[Any]], Any]) -> Any:
         """Gather one value per rank, apply ``combine`` once, return to all.
@@ -239,7 +303,7 @@ class SimWorld:
         with self._coll_lock:
             slot = self._coll_slots.setdefault(key, [None] * self.size)
             slot[rank] = (True, value)
-        self._barrier.wait()
+        self._barrier_wait()
         with self._coll_lock:
             if key not in self._coll_results:
                 slot = self._coll_slots[key]
@@ -254,7 +318,7 @@ class SimWorld:
                 self.traffic.collectives += 1
             result = self._coll_results[key]
         # Second barrier so cleanup cannot race the next epoch.
-        self._barrier.wait()
+        self._barrier_wait()
         with self._coll_lock:
             self._coll_slots.pop(key, None)
             self._coll_results.pop(key, None)
@@ -268,23 +332,54 @@ class SimWorld:
         size: int,
         timeout: float = DEFAULT_TIMEOUT,
         args: Sequence = (),
+        mode: str = "thread",
     ) -> List[Any]:
         """Run ``program(comm, *args)`` on ``size`` ranks; return results.
 
         Exceptions raised on any rank are re-raised on the caller (the
-        first by rank order), after all threads have stopped.
+        first by rank order), after all ranks have stopped.  With
+        ``mode="process"`` the program must be a picklable module-level
+        callable (spawn semantics).
         """
-        world = SimWorld(size, timeout=timeout)
+        world = SimWorld(size, timeout=timeout, mode=mode)
+        return world.launch(program, args=args)
+
+    def launch(
+        self,
+        program: Callable[["SimComm"], Any],
+        args: Sequence = (),
+    ) -> List[Any]:
+        """Run ``program`` over this world's ranks on its substrate."""
+        if self.mode == "process":
+            from .procworld import run_process_world
+
+            outcome = run_process_world(
+                program, self.size, timeout=self.timeout, args=args,
+            )
+            self.traffic.merge_from(outcome.traffic)
+            self.rank_traffic.update(outcome.rank_traffic)
+            return outcome.results
+        return self._launch_threads(program, args)
+
+    def _launch_threads(
+        self,
+        program: Callable[["SimComm"], Any],
+        args: Sequence,
+    ) -> List[Any]:
+        size = self.size
         results: List[Any] = [None] * size
         errors: List[Optional[BaseException]] = [None] * size
 
         def target(rank: int) -> None:
             try:
-                results[rank] = program(world.comm(rank), *args)
+                results[rank] = program(self.comm(rank), *args)
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 errors[rank] = exc
-                # Break barriers so other ranks fail fast instead of hanging.
-                world._barrier.abort()
+                # Break barriers so other ranks fail fast instead of
+                # hanging; flag first so their BrokenBarrierError is
+                # recognised as collateral, not a timeout.
+                self._failed = True
+                self._barrier.abort()
 
         threads = [
             threading.Thread(target=target, args=(r,), name=f"rank{r}")

@@ -241,6 +241,95 @@ class BlockDecomposition:
         )
 
 
+# -- rank -> worker placement (process mode) ---------------------------------
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An assignment of ranks onto worker processes.
+
+    ``groups[w]`` lists the ranks worker ``w`` hosts.  A worker hosting
+    several ranks runs them as threads sharing one process (useful when
+    ranks outnumber cores, or to co-locate light all-land blocks).
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    #: per-worker load (sum of its ranks' loads, in ocean points or 1.0
+    #: per rank for uniform placements)
+    loads: Tuple[float, ...] = ()
+
+    @classmethod
+    def one_per_rank(cls, size: int) -> "Placement":
+        """The default placement: one worker process per rank."""
+        return cls(groups=tuple((r,) for r in range(size)),
+                   loads=tuple(1.0 for _ in range(size)))
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.groups)
+
+    def worker_of(self, rank: int) -> int:
+        """The worker hosting ``rank``."""
+        for w, ranks in enumerate(self.groups):
+            if rank in ranks:
+                return w
+        raise DecompositionError(f"rank {rank} not placed on any worker")
+
+    def imbalance(self) -> float:
+        """max/mean worker load (1.0 for empty or uniform placements)."""
+        loads = [ld for ld in self.loads if ld > 0]
+        if not loads:
+            return 1.0
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean > 0 else 1.0
+
+    def validate(self, size: int) -> None:
+        """Check every rank 0..size-1 is placed exactly once."""
+        seen = [r for ranks in self.groups for r in ranks]
+        if sorted(seen) != list(range(size)):
+            raise DecompositionError(
+                f"placement does not cover ranks 0..{size - 1} exactly "
+                f"once (got {sorted(seen)})"
+            )
+
+
+class Partitioner:
+    """Load-driven rank -> worker placement (§V-C1 style).
+
+    Uses the decomposition's per-rank ocean-point counts as loads (all
+    ranks weigh equally without a mask) and assigns ranks to workers
+    with the classic LPT greedy: heaviest rank first, onto the
+    currently lightest worker.  Deterministic — ties break by rank and
+    worker index.
+    """
+
+    def __init__(self, decomp: BlockDecomposition,
+                 ocean_mask: Optional[np.ndarray] = None) -> None:
+        self.decomp = decomp
+        if ocean_mask is not None:
+            self.loads = decomp.ocean_points_per_rank(ocean_mask).astype(float)
+        else:
+            self.loads = np.ones(decomp.size, dtype=float)
+
+    def assign(self, n_workers: int) -> Placement:
+        """Place the decomposition's ranks onto ``n_workers`` workers."""
+        size = self.decomp.size
+        if n_workers < 1:
+            raise DecompositionError("need at least one worker")
+        n_workers = min(n_workers, size)
+        order = sorted(range(size), key=lambda r: (-self.loads[r], r))
+        groups: List[List[int]] = [[] for _ in range(n_workers)]
+        totals = [0.0] * n_workers
+        for rank in order:
+            w = min(range(n_workers), key=lambda i: (totals[i], i))
+            groups[w].append(rank)
+            totals[w] += float(self.loads[rank])
+        return Placement(
+            groups=tuple(tuple(sorted(g)) for g in groups),
+            loads=tuple(totals),
+        )
+
+
 def choose_process_grid(ny: int, nx: int, size: int) -> Tuple[int, int]:
     """Pick ``(npy, npx)`` for ``size`` ranks, preferring square-ish blocks
     with a mirror-symmetric top-row split (required by the tripolar fold).

@@ -174,7 +174,13 @@ class FusedHaloExchange:
         self.comm = comm
         self.decomp = decomp
         self.rank = comm.rank if rank is None else rank
-        self.pool = pool if pool is not None else BufferPool()
+        if pool is None:
+            # Process-backed comms supply a shared-memory pool so the
+            # packed slabs are handed to neighbours by segment name
+            # (zero-copy) instead of crossing a pipe.
+            make = getattr(comm, "make_halo_pool", None)
+            pool = make() if make is not None else BufferPool()
+        self.pool = pool
         #: Optional :class:`repro.trace.Tracer`: while enabled, the
         #: pack / post / wait / unpack phases are recorded as spans.
         self.tracer = tracer

@@ -49,6 +49,24 @@ def aggregate(contexts: Iterable) -> Instrumentation:
     return merged
 
 
+def merge_traffic(ledgers: Iterable):
+    """Merge per-rank :class:`~repro.parallel.comm.TrafficLedger` objects
+    into one fresh job-level ledger.
+
+    The traffic analog of :func:`aggregate`: process-backed worlds hand
+    back one ledger per rank (``world.rank_traffic``), and their merged
+    view must equal the thread-mode world ledger exactly — every send is
+    recorded once on its sending rank in both modes.
+    """
+    from ..parallel.comm import TrafficLedger
+
+    merged = TrafficLedger()
+    for ledger in ledgers:
+        if ledger is not None:
+            merged.merge_from(ledger)
+    return merged
+
+
 def rank_points(contexts: Iterable) -> List[int]:
     """Grid points visited per rank — the measured per-rank load."""
     return [_resolve(ctx).total_points for ctx in contexts]

@@ -109,6 +109,22 @@ class Tracer:
         self._lanes: Dict[int, int] = {}           # thread ident -> dense tid
         self._lane_names: Dict[int, str] = {}      # dense tid -> thread name
 
+    # Tracers ride home in process-mode worker exit reports.  The lock
+    # and the thread-ident keyed maps are process-local (idents mean
+    # nothing in the parent); lane names and all events travel.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_lock", None)
+        state.pop("_stacks", None)
+        state.pop("_lanes", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._stacks = {}
+        self._lanes = {}
+
     # -- recording ---------------------------------------------------------
 
     def _lane(self, ident: int) -> int:

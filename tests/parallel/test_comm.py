@@ -336,3 +336,87 @@ def test_property_allreduce_matches_numpy(size, seed):
 
     for r in SimWorld.run(prog, size):
         assert r == pytest.approx(values.sum())
+
+
+class TestBarrierTimeout:
+    def test_barrier_wait_honors_world_timeout(self):
+        """A rank that never reaches the collective must not hang the
+        others forever: the barrier wait times out at the world timeout
+        and surfaces as a CommunicationError, not a bare
+        BrokenBarrierError."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                return "absent"  # never calls the collective
+            comm.barrier()
+
+        with pytest.raises(CommunicationError, match="barrier wait timed out"):
+            SimWorld.run(prog, 2, timeout=0.2)
+
+    def test_collateral_break_still_prefers_root_cause(self):
+        """The timeout conversion must not swallow the root-cause
+        preference: a real error on one rank still wins over the
+        barrier fallout on its peers."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                raise ValueError("the real bug")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="the real bug"):
+            SimWorld.run(prog, 3, timeout=5.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown world mode"):
+            SimWorld(2, mode="fiber")
+
+
+class TestLedgerMerge:
+    def _populated(self, shift=0):
+        led = SimWorld(4).traffic
+        led.record(0 + shift, 1, 80.0, phase="halo")
+        led.record(1, 2 + shift, 1024.0, phase="halo")
+        led.record(2, 3, 7.0)
+        led.collectives += 2
+        return led
+
+    def test_merge_from_round_trip(self):
+        """Splitting traffic across per-rank ledgers and merging them
+        back must equal recording everything in one ledger."""
+        whole = SimWorld(4).traffic
+        parts = [SimWorld(4).traffic for _ in range(3)]
+        events = [(0, 1, 80.0, "halo"), (1, 2, 1024.0, "halo"),
+                  (2, 3, 7.0, None), (3, 0, 80.0, "fused_halo3"),
+                  (1, 0, 512.0, None)]
+        for i, (src, dst, nbytes, phase) in enumerate(events):
+            whole.record(src, dst, nbytes, phase=phase)
+            parts[i % 3].record(src, dst, nbytes, phase=phase)
+        merged = SimWorld(4).traffic
+        for part in parts:
+            assert merged.merge_from(part) is merged
+        assert merged.messages == whole.messages
+        assert merged.bytes == whole.bytes
+        assert merged.by_pair == whole.by_pair
+        assert merged.by_phase == whole.by_phase
+        assert merged.size_hist == whole.size_hist
+
+    def test_merge_accumulates_collectives(self):
+        a, b = self._populated(), self._populated(shift=1)
+        a.merge_from(b)
+        assert a.collectives == 4
+        assert a.messages == 6
+
+    def test_ledger_pickles_and_keeps_counters(self):
+        import pickle
+
+        led = self._populated()
+        clone = pickle.loads(pickle.dumps(led))
+        assert clone.messages == led.messages
+        assert clone.bytes == led.bytes
+        assert clone.by_pair == led.by_pair
+        assert clone.by_phase == led.by_phase
+        assert clone.size_hist == led.size_hist
+        assert clone.collectives == led.collectives
+        # the rebuilt lock works: recording after the round trip is fine
+        clone.record(0, 1, 8.0)
+        assert clone.messages == led.messages + 1
