@@ -57,6 +57,7 @@ from .rules import (
     RULE_DEAD_STORE,
     RULE_GRAPH_FENCE,
     RULE_GRAPH_RACE,
+    RULE_PRECISION,
     RULE_REDUNDANT_EXCHANGE,
     RULE_STALE_HALO,
 )
@@ -65,8 +66,10 @@ __all__ = [
     "GraphLintConfig",
     "PartAccess",
     "certify_fusion",
+    "certify_precision",
     "check_fusion_legality",
     "check_graph",
+    "check_precision",
     "run_graphcheck",
 ]
 
@@ -244,6 +247,97 @@ def certify_fusion(graph: LaunchGraph) -> List[Finding]:
     """The ``seal(certify=True)`` hook: error-severity legality findings
     (warnings — unproven but not disproven — do not refuse the seal)."""
     return [f for f in check_fusion_legality(graph)
+            if f.severity >= Severity.ERROR]
+
+
+# --------------------------------------------------------------------------
+# precision-promotion: mixed-dtype discipline over the sealed schedule
+# --------------------------------------------------------------------------
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _part_float_dtypes(pa: PartAccess) -> Dict[str, np.dtype]:
+    """Footprint view name -> float dtype for every resolved array."""
+    out: Dict[str, np.dtype] = {}
+    for name, obj in pa.targets.items():
+        buf = _buffer(obj)
+        if buf is not None and buf.dtype in _FLOAT_DTYPES:
+            out[name] = buf.dtype
+    return out
+
+
+def check_precision(graph: LaunchGraph) -> List[Finding]:
+    """The ``precision-promotion`` rule family over one sealed graph.
+
+    Every launch part must be *dtype-uniform* across the float arrays it
+    binds (fields, work views, geometry) unless its functor declares
+    ``precision_boundary = True`` — the marker for sanctioned family
+    boundaries: explicit ``precision_cast`` launches and value-exact
+    widening consumers (EOS, depth-mean scans).  Anything else binding
+    fp32 *and* fp64 silently promotes the whole sweep to fp64 arithmetic
+    (NumPy result-type rules), defeating the policy — an ERROR.
+
+    Separately, a functor that declares ``accumulates = True`` (column
+    scans, depth integrals) whose operands are all fp32 carries an
+    accumulation-order hazard — the rounding of a long fp32 sum depends
+    on evaluation order and its error grows with the level count — a
+    WARNING (the ``mixed`` preset avoids it by running scans in fp64).
+    A kernel whose running sum is explicitly fp64 internally declares
+    ``wide_accumulate = True`` and is exempt: the hazard attaches to
+    the accumulator width, not the operand width.
+    """
+    findings: List[Finding] = []
+    for node in graph.nodes:
+        if not isinstance(node, KernelNode):
+            continue
+        ndim = len(node.policy.extents)
+        for label, functor in node.parts():
+            pa = _part_access(label, functor, ndim)
+            dtypes = _part_float_dtypes(pa)
+            if not dtypes:
+                continue
+            distinct = set(dtypes.values())
+            boundary = bool(getattr(type(functor), "precision_boundary",
+                                    False))
+            if len(distinct) > 1 and not boundary:
+                by_dt: Dict[np.dtype, List[str]] = {}
+                for name, dt in sorted(dtypes.items()):
+                    by_dt.setdefault(dt, []).append(name)
+                desc = "; ".join(
+                    f"{dt.name}: {', '.join(names)}"
+                    for dt, names in sorted(by_dt.items(),
+                                            key=lambda kv: kv[0].itemsize))
+                findings.append(Finding(
+                    rule=RULE_PRECISION, severity=Severity.ERROR,
+                    kernel=label, view=None,
+                    detail=(f"launch binds mixed float dtypes ({desc}) "
+                            f"without declaring precision_boundary: NumPy "
+                            f"promotion silently runs the fp32 operands "
+                            f"at fp64 — insert an explicit precision_cast "
+                            f"at the family boundary"),
+                    file=pa.file, line=pa.line))
+            if (getattr(type(functor), "accumulates", False)
+                    and not getattr(type(functor), "wide_accumulate", False)
+                    and distinct == {np.dtype(np.float32)}):
+                findings.append(Finding(
+                    rule=RULE_PRECISION, severity=Severity.WARNING,
+                    kernel=label, view=None,
+                    detail=("fp32 accumulation: a column scan / depth "
+                            "integral sums at float32, so rounding depends "
+                            "on accumulation order and grows with depth; "
+                            "assign the scan family fp64 (the 'mixed' "
+                            "preset) or sum through an explicit fp64 "
+                            "accumulator (wide_accumulate = True)"),
+                    file=pa.file, line=pa.line))
+    return findings
+
+
+def certify_precision(graph: LaunchGraph) -> List[Finding]:
+    """Seal-time proof that no fp32 sweep silently promotes to fp64:
+    error-severity precision findings refuse the seal (accumulation
+    warnings do not)."""
+    return [f for f in check_precision(graph)
             if f.severity >= Severity.ERROR]
 
 
@@ -523,6 +617,7 @@ def check_graph(graph: LaunchGraph, passes: int = 3) -> List[Finding]:
     if not graph.sealed:
         raise ValueError("check_graph needs a sealed LaunchGraph")
     findings = check_fusion_legality(graph)
+    findings.extend(check_precision(graph))
     findings.extend(_Walker(graph).walk(passes=passes))
     return findings
 
@@ -546,6 +641,10 @@ class GraphLintConfig:
 
     backends: Sequence[str] = ("serial", "openmp", "athread", "cuda")
     jit_modes: Sequence[bool] = (False, True)
+    #: Precision presets to verify; "mixed" exercises the
+    #: precision-promotion rules on a schedule with real cast
+    #: boundaries (serial/jit-off only, to bound the matrix).
+    precisions: Sequence[str] = ("double", "mixed")
     size: str = "tiny"
     steps: int = 2
     passes: int = 3
@@ -564,24 +663,30 @@ def run_graphcheck(config: Optional[GraphLintConfig] = None) -> Report:
     report = Report(rules_run=list(GRAPH_RULES), tool="graphcheck")
     seen: Dict[str, Finding] = {}
     kernels = 0
-    for backend in cfg.backends:
-        for jit in cfg.jit_modes:
-            tag = f"backend={backend}, jit={'on' if jit else 'off'}"
-            model = LICOMKpp(
-                demo(cfg.size), backend=backend,
-                params=ModelParams(graph=True, jit=jit, check_every=0))
-            try:
-                model.run_steps(cfg.steps)
-                for graph in model._graphs.values():
-                    if not graph.sealed:
-                        continue
-                    kernels += graph.launches_per_replay
-                    for f in check_graph(graph, passes=cfg.passes):
-                        if f.key not in seen:
-                            f.detail += f" [{tag}]"
-                            seen[f.key] = f
-                            report.findings.append(f)
-            finally:
-                model.close()
+    combos = [(b, j, cfg.precisions[0] if cfg.precisions else "double")
+              for b in cfg.backends for j in cfg.jit_modes]
+    # non-default presets verified once each on the serial/jit-off
+    # schedule (the graphs are backend-independent node lists)
+    combos += [(cfg.backends[0], False, p) for p in cfg.precisions[1:]]
+    for backend, jit, precision in combos:
+        tag = (f"backend={backend}, jit={'on' if jit else 'off'}, "
+               f"precision={precision}")
+        model = LICOMKpp(
+            demo(cfg.size), backend=backend,
+            params=ModelParams(graph=True, jit=jit, check_every=0,
+                               precision=precision))
+        try:
+            model.run_steps(cfg.steps)
+            for graph in model._graphs.values():
+                if not graph.sealed:
+                    continue
+                kernels += graph.launches_per_replay
+                for f in check_graph(graph, passes=cfg.passes):
+                    if f.key not in seen:
+                        f.detail += f" [{tag}]"
+                        seen[f.key] = f
+                        report.findings.append(f)
+        finally:
+            model.close()
     report.kernels_checked = kernels
     return report

@@ -78,9 +78,18 @@ RULE_STALE_HALO = "stale-halo"
 RULE_REDUNDANT_EXCHANGE = "redundant-exchange"
 RULE_DEAD_STORE = "dead-store"
 RULE_GRAPH_FENCE = "graph-fence"
+#: Mixed-precision discipline over the sealed schedule: a launch that
+#: binds both fp32 and fp64 float arrays without declaring itself a
+#: family boundary (``precision_boundary = True`` or an explicit
+#: ``precision_cast`` launch) silently promotes fp32 sweeps to fp64
+#: arithmetic — an ERROR; an fp32 *accumulation* (a functor declaring
+#: ``accumulates = True``, e.g. column scans / depth means) carries an
+#: accumulation-order hazard — a WARNING, unless the kernel sums
+#: through an explicit fp64 accumulator (``wide_accumulate = True``).
+RULE_PRECISION = "precision-promotion"
 
 GRAPH_RULES = (RULE_GRAPH_RACE, RULE_STALE_HALO, RULE_REDUNDANT_EXCHANGE,
-               RULE_DEAD_STORE, RULE_GRAPH_FENCE)
+               RULE_DEAD_STORE, RULE_GRAPH_FENCE, RULE_PRECISION)
 
 
 @dataclass

@@ -22,6 +22,12 @@ Commands
     trace-event JSON timeline (open in Perfetto / ``chrome://tracing``):
     ``python -m repro trace --size tiny --steps 2 --ranks 2 --out
     trace.json [--predict new_sunway]``.
+``precision``
+    Validate a precision policy against the fp64 reference under the
+    declared per-field/energy/mass budgets, then print the perfmodel's
+    per-family throughput projection: ``python -m repro precision
+    [--policy mixed] [--steps 16] [--backend serial]``.  Exits 1 when
+    the divergence exceeds a budget.
 """
 
 from __future__ import annotations
@@ -239,6 +245,28 @@ def _report_jit_coverage(model) -> None:
             print(f"  eager launches: {', '.join(eager)}")
 
 
+def _cmd_precision(args: argparse.Namespace) -> int:
+    from .ocean.validate_precision import validate_policy
+
+    report = validate_policy(args.policy, size=args.size, steps=args.steps,
+                             backend=args.backend)
+    print(report.format())
+    if args.project:
+        from .ocean.config import PAPER_CONFIGS
+        from .perfmodel import policy_projection, projection_crosscheck
+
+        print()
+        for machine, units in (("orise", 16000), ("new_sunway", 590250)):
+            d, p, sp = policy_projection(
+                PAPER_CONFIGS["km_1km"], machine, units, args.policy)
+            flat = projection_crosscheck(
+                PAPER_CONFIGS["km_1km"], machine, units)
+            print(f"{machine}: fp64 {d:.3f} SYPD -> {args.policy} "
+                  f"{p:.3f} SYPD ({sp:.2f}x; flat fp32 bound "
+                  f"{flat['flat_single_speedup']:.2f}x)")
+    return 0 if report.ok else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from .experiments import tables
     from .ocean.config import PAPER_CONFIGS
@@ -267,7 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--backend", default="serial",
                      choices=["serial", "openmp", "athread", "cuda", "hip"])
     run.add_argument("--precision", default="double",
-                     choices=["double", "single"])
+                     choices=["double", "single", "mixed"])
     run.add_argument("--full-depth", action="store_true",
                      help="full-depth (Mariana-capable) configuration")
     run.add_argument("--timers", action="store_true", help="print GPTL timers")
@@ -335,6 +363,21 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--predict-out", default=None,
                     help="output path for the predicted timeline")
     tr.set_defaults(func=_cmd_trace)
+
+    prec = sub.add_parser(
+        "precision",
+        help="validate a precision policy against fp64 under declared budgets")
+    prec.add_argument("--policy", default="mixed",
+                      choices=["mixed", "single", "double"])
+    prec.add_argument("--size", default="tiny",
+                      choices=["tiny", "small", "medium", "large"])
+    prec.add_argument("--steps", type=int, default=16,
+                      help="baroclinic steps to integrate both runs")
+    prec.add_argument("--backend", default="serial",
+                      choices=["serial", "openmp", "athread", "cuda", "hip"])
+    prec.add_argument("--no-project", dest="project", action="store_false",
+                      help="skip the perfmodel throughput projection")
+    prec.set_defaults(func=_cmd_precision)
     return parser
 
 

@@ -71,6 +71,24 @@ def functor_cost(functor) -> Tuple[float, float]:
     return flops, nbytes
 
 
+def functor_dtype(functor) -> str:
+    """Dtype tag of the views a launch binds: ``"f8"``, ``"f4"``, ``"f4+f8"``.
+
+    The precision policy's footprint in the trace: every kernel span is
+    labelled with the float width(s) it actually touched, so mixed runs
+    show their cast boundaries (``f4+f8``) and the predicted timeline
+    can price narrow sweeps at their real byte volume.
+    """
+    stack = [functor]
+    kinds = set()
+    while stack:
+        f = stack.pop()
+        kinds.update(v.raw.dtype.str[1:] for v in functor_views(f))
+        # fused composites hold sub-functors, not views — recurse
+        stack.extend(getattr(f, "parts", ()))
+    return "+".join(sorted(kinds)) if kinds else "f8"
+
+
 class ExecutionSpace:
     """Base class for execution spaces (backends)."""
 
@@ -129,7 +147,8 @@ class ExecutionSpace:
         if tr is not None and tr.enabled:
             flops, nbytes = functor_cost(functor)
             with tr.span(label, cat="kernel", points=md.size,
-                         flops=flops * md.size, bytes=nbytes * md.size):
+                         flops=flops * md.size, bytes=nbytes * md.size,
+                         dtype=functor_dtype(functor)):
                 self.run_for(label, md, functor)
         else:
             self.run_for(label, md, functor)
@@ -156,7 +175,8 @@ class ExecutionSpace:
             return
         args = {"points": plan._points,
                 "flops": plan._flops * plan._points,
-                "bytes": plan._bytes * plan._points}
+                "bytes": plan._bytes * plan._points,
+                "dtype": functor_dtype(plan.functor)}
         labels = getattr(plan.functor, "labels", None)
         if labels:
             # a fused sweep replays as ONE launch: one span, with the
@@ -176,7 +196,8 @@ class ExecutionSpace:
         if tr is not None and tr.enabled:
             flops, nbytes = functor_cost(functor)
             with tr.span(label, cat="kernel", points=md.size,
-                         flops=flops * md.size, bytes=nbytes * md.size):
+                         flops=flops * md.size, bytes=nbytes * md.size,
+                         dtype=functor_dtype(functor)):
                 return self.run_reduce(label, md, functor, reducer)
         return self.run_reduce(label, md, functor, reducer)
 

@@ -369,7 +369,7 @@ class LaunchGraph:
             self.nodes = final
         self.sealed = True
         if certify:
-            from ..analysis.graphcheck import certify_fusion
+            from ..analysis.graphcheck import certify_fusion, certify_precision
             from ..errors import GraphCertificationError
 
             refused = certify_fusion(self)
@@ -377,6 +377,12 @@ class LaunchGraph:
                 raise GraphCertificationError(
                     "sealed graph failed fusion certification:\n"
                     + "\n".join(f.format() for f in refused))
+            promoted = certify_precision(self)
+            if promoted:
+                raise GraphCertificationError(
+                    "sealed graph failed precision certification "
+                    "(silent fp32->fp64 promotion):\n"
+                    + "\n".join(f.format() for f in promoted))
         return self
 
     def _prepare_node(self, node: KernelNode, cache, out: List[object]) -> None:

@@ -310,16 +310,32 @@ class _LoweredNjit:
 # -- lowering entry point ---------------------------------------------------
 
 
+def _all_float64_views(part) -> bool:
+    """True when every View the part binds is float64."""
+    from .backends.base import functor_views
+
+    return all(v.raw.dtype == np.float64 for v in functor_views(part))
+
+
 def _lower(space, label: str, policy, functor, cache: JitCache):
     """Produce the cached lowering artifact for one plan."""
     parts = getattr(functor, "parts", None) or [functor]
     if len(parts) == 1:
         spec = getattr(type(parts[0]), "jit_spec", None)
         if spec is not None:
-            if numba_available():
+            if not _all_float64_views(parts[0]):
+                # numba types python-float scalars as float64 inside the
+                # loop, so an fp32 jit_spec body would compute in fp64
+                # and break bitwise tier identity for narrow families —
+                # degrade to the codegen tier, which re-executes the
+                # numpy apply body (bitwise identical at any dtype).
+                cache.warn_once((sweep_key(space, policy, functor), "f32"),
+                                label, "narrow-dtype-views tier=codegen")
+            elif numba_available():
                 return _LoweredNjit(type(parts[0]), spec, label)
-            cache.warn_once(("numba",), label,
-                            "numba-not-importable tier=codegen")
+            else:
+                cache.warn_once(("numba",), label,
+                                "numba-not-importable tier=codegen")
     chunked = space.name == "openmp" and space.concurrency > 1
     return _LoweredCodegen(len(parts), chunked, label)
 

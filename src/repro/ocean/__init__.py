@@ -34,6 +34,14 @@ from .diagnostics import (
     temperature_section,
 )
 from .model import LICOMKpp, ModelParams
+from .precision import (
+    FAMILIES,
+    FIELD_FAMILIES,
+    KERNEL_FAMILIES,
+    PRESETS,
+    PrecisionPolicy,
+    resolve_precision,
+)
 from .restart import (
     HistoryAccumulator,
     io_cost_estimate,
@@ -65,6 +73,8 @@ __all__ = [
     "LocalDomain", "make_local_domain", "local_with_halo",
     "ModelState", "LeapfrogField",
     "LICOMKpp", "ModelParams",
+    "PrecisionPolicy", "resolve_precision", "PRESETS",
+    "FAMILIES", "FIELD_FAMILIES", "KERNEL_FAMILIES",
     "ForcingParams", "SurfaceForcing", "make_forcing",
     "density_linear", "density_unesco", "buoyancy_frequency_sq",
     "CanutoMixFunctor", "canuto_column_mask", "stability_functions",

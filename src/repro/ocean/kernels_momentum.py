@@ -264,6 +264,11 @@ class DepthMeanFunctor(TileFunctor):
 
     flops_per_point = 3.0
     bytes_per_point = 4 * 8.0   # fld + out + mask + dz columns
+    #: Declared family boundary: the depth integral is a *scan*-family
+    #: accumulation — fp32 velocities are widened on read and the sum
+    #: runs at the scan dtype (value-exact, no cast launch needed).
+    precision_boundary = True
+    accumulates = True
 
     def __init__(self, fld: View, out: View, domain: LocalDomain) -> None:
         self.fld = fld

@@ -23,6 +23,10 @@ class EOSFunctor(TileFunctor):
 
     flops_per_point = 5.0
     bytes_per_point = 4 * 8.0
+    #: Declared family boundary: under a mixed policy the EOS widens the
+    #: fp32 tracer fields into the fp64 density — value-exact reads, so
+    #: no explicit cast launch is needed (precision-promotion rule).
+    precision_boundary = True
 
     def __init__(self, t: View, s: View, rho: View, mask_t: np.ndarray) -> None:
         self.t = t
@@ -50,6 +54,9 @@ class PressureFunctor(TileFunctor):
 
     flops_per_point = 4.0
     bytes_per_point = 4 * 8.0   # rho + p + mask + dz columns
+    #: Column cumsum: fp32 runs carry an accumulation-order hazard
+    #: (precision-promotion WARNING); the mixed preset keeps eos fp64.
+    accumulates = True
 
     def __init__(self, rho: View, p: View, mask_t: np.ndarray, dz: np.ndarray) -> None:
         self.rho = rho
@@ -83,6 +90,11 @@ class WFunctor(TileFunctor):
     flops_per_point = 12.0
     bytes_per_point = 7 * 8.0   # u, v, w, masks + metric rows
     stencil_halo = 1            # face divergence reads ±1 corners
+    #: Upward column integration of the divergence (a scan); the sum
+    #: runs through an fp64 accumulator even when u/v/w are fp32, so
+    #: the accumulation-order hazard does not apply.
+    accumulates = True
+    wide_accumulate = True
 
     def __init__(self, u: View, v: View, w: View, domain: LocalDomain) -> None:
         self.u = u
@@ -109,7 +121,10 @@ class WFunctor(TileFunctor):
         fn = face_v_north(v, sk, sj, si) * dxu_n
         fs = face_v_south(v, sk, sj, si) * dxu_s
         divh = (fe - fw + fn - fs) / area * self.dom.mask_t[:, sj, si]
-        # integrate upward from the floor: w[k] = w[k+1] - dz_k * divh[k]
-        colsum = np.cumsum((divh * dzc)[::-1], axis=0)[::-1]
+        # integrate upward from the floor: w[k] = w[k+1] - dz_k * divh[k];
+        # the running sum stays fp64 regardless of the field dtype
+        # (wide_accumulate) and narrows only at the store
+        colsum = np.cumsum((divh * dzc)[::-1], axis=0,
+                           dtype=np.float64)[::-1]
         self.w.data[: d.nz, sj, si] = -colsum
         self.w.data[d.nz, sj, si] = 0.0

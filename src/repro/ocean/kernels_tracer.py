@@ -54,9 +54,13 @@ def _face_volumes(
     """Arena-backed volume transports through the tile's face sets.
 
     Returns ``(ue, vn, wt)`` in the arena's shared transport buffers.
-    Each step mirrors the historical eager expression op by op — the
-    mixed float32-field / float64-geometry promotion chain included —
-    so the results are bitwise identical to eager allocation.
+    Each step mirrors the historical eager expression op by op, so the
+    results are bitwise identical to eager allocation.  Geometry comes
+    from the domain the model bound, which the precision policy has
+    already cast to the tracer family's dtype (``LocalDomain.at_dtype``)
+    — so for an fp32 tracer family ``result_type(field, dz)`` collapses
+    to fp32 and the sweep never silently computes in fp64; under fp64
+    policies the promotion is the historical no-op.
     """
     nz = dom.nz
     sk = slice(0, nz)
@@ -445,16 +449,20 @@ class FCTLimitFunctor(TileFunctor):
         m = d.mask_t[:, sj, si]
         land = ws.take("fct_msk", shape, np.bool_)
         np.less_equal(m, 0.0, out=land)
-        np.add(p_plus, _TINY, out=p_plus)
-        np.divide(q_plus, p_plus, out=q_plus)
-        np.minimum(q_plus, 1.0, out=q_plus)
-        np.copyto(q_plus, 1.0, where=land)
-        self.r_plus.data[:, sj, si] = q_plus
-        np.add(p_minus, _TINY, out=p_minus)
-        np.divide(q_minus, p_minus, out=q_minus)
-        np.minimum(q_minus, 1.0, out=q_minus)
-        np.copyto(q_minus, 1.0, where=land)
-        self.r_minus.data[:, sj, si] = q_minus
+        # q/(p + tiny) saturates to inf at fp32 when p ~ 0 (no incoming
+        # flux); the minimum on the next line clamps it to the correct
+        # limiter value 1, so the overflow is expected, not an error
+        with np.errstate(over="ignore"):
+            np.add(p_plus, _TINY, out=p_plus)
+            np.divide(q_plus, p_plus, out=q_plus)
+            np.minimum(q_plus, 1.0, out=q_plus)
+            np.copyto(q_plus, 1.0, where=land)
+            self.r_plus.data[:, sj, si] = q_plus
+            np.add(p_minus, _TINY, out=p_minus)
+            np.divide(q_minus, p_minus, out=q_minus)
+            np.minimum(q_minus, 1.0, out=q_minus)
+            np.copyto(q_minus, 1.0, where=land)
+            self.r_minus.data[:, sj, si] = q_minus
 
 
 @kokkos_register_for("advect_tracer_apply", ndim=2)

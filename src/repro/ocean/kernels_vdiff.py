@@ -39,9 +39,12 @@ def _diffusion_matrix(
     dzc = dz.reshape(-1, 1, 1)
     dzw = np.diff(z_t).reshape(-1, 1, 1)  # (nz-1, 1, 1) center-to-center
     shape = kappa.shape
+    # bands live at the family dtype (kappa and the domain's mask are
+    # both policy-cast), so fp32 columns solve in fp32 end to end
+    bdt = np.result_type(kappa.dtype, mask.dtype)
     if ws is None:
-        lower = np.zeros(shape)
-        upper = np.zeros(shape)
+        lower = np.zeros(shape, dtype=bdt)
+        upper = np.zeros(shape, dtype=bdt)
         # interface k sits between level k and k+1; open only if both ocean
         if nz > 1:
             open_iface = mask[:-1] * mask[1:]
@@ -50,14 +53,13 @@ def _diffusion_matrix(
             lower[1:] = -dt * kap / (dzc[1:] * dzw)    # couples level k+1 to k
         diag = 1.0 - lower - upper
     else:
-        lower = ws.take("vd_lower", shape, np.float64, fill=0.0)
-        upper = ws.take("vd_upper", shape, np.float64, fill=0.0)
+        lower = ws.take("vd_lower", shape, bdt, fill=0.0)
+        upper = ws.take("vd_upper", shape, bdt, fill=0.0)
         if nz > 1:
             fshape = (nz - 1,) + shape[1:]
             open_iface = ws.take("vd_open", fshape, mask.dtype)
             np.multiply(mask[:-1], mask[1:], out=open_iface)
-            kap = ws.take("vd_kap", fshape,
-                          np.result_type(kappa.dtype, mask.dtype))
+            kap = ws.take("vd_kap", fshape, bdt)
             np.multiply(kappa[:-1], open_iface, out=kap)
             np.multiply(kap, -dt, out=kap)
             dzp = ws.take("vd_dzp", dzw.shape, dzw.dtype)
@@ -65,7 +67,7 @@ def _diffusion_matrix(
             np.divide(kap, dzp, out=upper[:-1])
             np.multiply(dzc[1:], dzw, out=dzp)
             np.divide(kap, dzp, out=lower[1:])
-        diag = ws.take("vd_diag", shape, np.float64)
+        diag = ws.take("vd_diag", shape, bdt)
         np.subtract(1.0, lower, out=diag)
         np.subtract(diag, upper, out=diag)
     # land levels: identity rows

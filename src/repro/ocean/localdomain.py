@@ -116,6 +116,10 @@ class LocalDomain:
     # cached (cos, sin) rotation rows keyed by the Coriolis angle step
     _rot_cache: Dict[float, Tuple[np.ndarray, np.ndarray]] = field(
         default_factory=dict, repr=False)
+    # cached narrow-precision clones of this domain, keyed by dtype
+    # (see :meth:`at_dtype`); shared across the clones themselves
+    _cast_cache: Dict[np.dtype, "LocalDomain"] = field(
+        default_factory=dict, repr=False)
 
     def coriolis_rotation(self, dtb: float) -> Tuple[np.ndarray, np.ndarray]:
         """Cached ``(cos, sin)`` of the rotation angle ``f_u * dtb``.
@@ -123,13 +127,53 @@ class LocalDomain:
         The angle is static geometry times a constant substep length, so
         the trig is paid once per run instead of per tile per substep;
         slicing the cached rows gives bitwise the same values a tile
-        would compute itself.
+        would compute itself.  On a narrowed domain (:meth:`at_dtype`)
+        ``f_u`` is already the narrow dtype, so the rotation rows come
+        out at the kernel family's precision.
         """
         rot = self._rot_cache.get(dtb)
         if rot is None:
-            th = self.f_u * dtb
+            th = self.f_u * np.asarray(dtb, dtype=self.f_u.dtype)
             rot = self._rot_cache[dtb] = (np.cos(th), np.sin(th))
         return rot
+
+    def at_dtype(self, dtype) -> "LocalDomain":
+        """This domain with every float geometry array cast to ``dtype``.
+
+        The policy-driven cast point for static geometry: an fp32
+        kernel family receives an fp32 clone of the domain (metrics,
+        masks, verticals), so ``np.result_type(field, geometry)``
+        collapses to the family dtype inside the sweeps and no fp64
+        arithmetic sneaks into fp32 kernels.  Requesting ``float64``
+        returns *this* domain unchanged (geometry is built in fp64), so
+        uniform-fp64 runs are bitwise untouched.  Clones share the
+        workspace arena (its keys carry dtype) and the integer ``kmt``;
+        they are cached, so the cast cost is paid once per run.
+        """
+        dt = np.dtype(dtype)
+        if dt == self.dx_t.dtype:
+            return self
+        clone = self._cast_cache.get(dt)
+        if clone is None:
+            clone = LocalDomain(
+                decomp=self.decomp, rank=self.rank,
+                nz=self.nz, ly=self.ly, lx=self.lx,
+                dx_t=self.dx_t.astype(dt), dx_u=self.dx_u.astype(dt),
+                dy=self.dy,
+                f_u=self.f_u.astype(dt), f_t=self.f_t.astype(dt),
+                lat_t=self.lat_t.astype(dt),
+                dz=self.dz.astype(dt), z_t=self.z_t.astype(dt),
+                z_w=self.z_w.astype(dt),
+                mask_t=self.mask_t.astype(dt),
+                mask_u=self.mask_u.astype(dt),
+                kmt=self.kmt, depth_t=self.depth_t.astype(dt),
+                workspace=self.workspace,
+            )
+            clone._cast_cache = self._cast_cache
+            self._cast_cache[dt] = clone
+        elif clone.workspace is not self.workspace:
+            clone.workspace = self.workspace
+        return clone
 
     def scratch(self) -> Workspace:
         """The arena kernel bodies draw their temporaries from.

@@ -25,7 +25,7 @@ agree bitwise with the single-rank run (enforced by tests).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,6 +66,13 @@ from .kernels_tracer import (
 )
 from .kernels_vdiff import VerticalFrictionFunctor, VerticalTracerDiffusionFunctor
 from .localdomain import LocalDomain, local_with_halo, make_local_domain
+from .precision import (
+    CastFunctor,
+    CastFunctor2D,
+    PrecisionLike,
+    PrecisionPolicy,
+    resolve_precision,
+)
 from .state import ModelState
 from .topography import Topography, make_topography
 from .vmix_canuto import CanutoMixFunctor, KAPPA_H_BACKGROUND, KAPPA_M_BACKGROUND
@@ -86,7 +93,10 @@ class ModelParams:
     check_every: int = 16           # steps between NaN checks (0 = never)
     thermocline_depth: float = 800.0  # initial stratification e-folding [m]
     t_deep: float = 2.0             # abyssal temperature [C]
-    precision: str = "double"       # "double" | "single" (SViii mixed precision)
+    precision: PrecisionLike = "double"  # "double" | "single" | "mixed",
+                                    # a {family: dtype} mapping, or a
+                                    # PrecisionPolicy: per-kernel-family
+                                    # dtypes (SViii mixed precision)
     n_passive: int = 0              # extra passive (dye/age) tracers
     halo_packer: str = "sliced"     # "sliced" | "kernel" | "naive" (SV-D pack)
     halo_method3d: str = "transposed"  # "transposed" | "per_level" (Fig. 5)
@@ -204,13 +214,25 @@ class LICOMKpp:
         # disabled => fresh allocation per request, identical numerics.
         # Owned by the context: released (all threads' pools) on close.
         d.workspace = self.context.make_workspace(enabled=self.params.arena)
-        if self.params.precision not in ("double", "single"):
-            raise ValueError(
-                f"precision must be 'double' or 'single', got "
-                f"{self.params.precision!r}")
-        self.dtype = np.float64 if self.params.precision == "double" else np.float32
+        #: Per-kernel-family precision policy (presets "double"/"single"/
+        #: "mixed" or per-family overrides; see repro.ocean.precision).
+        self.policy: PrecisionPolicy = resolve_precision(self.params.precision)
+        famdt = self.policy.family_dtype
+        #: Representative dtype (tracer family) — the historical
+        #: uniform-precision attribute.
+        self.dtype = famdt("tracer")
         self.state = ModelState(d.nz, d.ly, d.lx, space=self.space.memory_space,
-                                dtype=self.dtype, n_passive=self.params.n_passive)
+                                n_passive=self.params.n_passive,
+                                policy=self.policy)
+        # per-family geometry: fp32 families compute against fp32 metric
+        # and mask arrays so no fp64 arithmetic sneaks into their sweeps
+        # (at_dtype returns the original domain for fp64 requests)
+        self.dom_tracer = d.at_dtype(famdt("tracer"))
+        self.dom_momentum = d.at_dtype(famdt("momentum"))
+        self.dom_vmix = d.at_dtype(famdt("vmix"))
+        self.dom_barotropic = d.at_dtype(famdt("barotropic"))
+        self.dom_eos = d.at_dtype(famdt("eos"))
+        self.dom_scan = d.at_dtype(famdt("scan"))
         self.halo = HaloUpdater(self.comm, self.decomp, self.rank,
                                 method3d=self.params.halo_method3d,
                                 packer=self.params.halo_packer,
@@ -220,48 +242,85 @@ class LICOMKpp:
         s3 = (d.nz, d.ly, d.lx)
         s2 = (d.ly, d.lx)
         sp = self.space.memory_space
-        dt_ = self.dtype
+        dt_tr = famdt("tracer")
+        dt_b = famdt("barotropic")
         # per-tracer scratch so the tracer suite can run stage-by-stage
         # across all tracers (T, S, passives) with one fused halo per
         # stage; slot 0 keeps the historical single-tracer attribute
         # names alive for kernel benchmarks
         n_tr = 2 + self.params.n_passive
-        self.tstar_all = [View(f"tstar{i}", s3, dtype=dt_, space=sp)
+        self.tstar_all = [View(f"tstar{i}", s3, dtype=dt_tr, space=sp)
                           for i in range(n_tr)]
-        self.tdiff_work_all = [View(f"tdiff_work{i}", s3, dtype=dt_, space=sp)
+        self.tdiff_work_all = [View(f"tdiff_work{i}", s3, dtype=dt_tr, space=sp)
                                for i in range(n_tr)]
-        self.rplus_all = [View(f"rplus{i}", s3, dtype=dt_, space=sp)
+        self.rplus_all = [View(f"rplus{i}", s3, dtype=dt_tr, space=sp)
                           for i in range(n_tr)]
-        self.rminus_all = [View(f"rminus{i}", s3, dtype=dt_, space=sp)
+        self.rminus_all = [View(f"rminus{i}", s3, dtype=dt_tr, space=sp)
                            for i in range(n_tr)]
         self.tstar = self.tstar_all[0]
         self.tdiff_work = self.tdiff_work_all[0]
         self.rplus = self.rplus_all[0]
         self.rminus = self.rminus_all[0]
-        self.eta = View("eta_work", s2, dtype=dt_, space=sp)
-        self.eta_prev = View("eta_prev", s2, dtype=dt_, space=sp)
-        self.um = View("umean", s2, dtype=dt_, space=sp)
-        self.vm = View("vmean", s2, dtype=dt_, space=sp)
-        self.um_old = View("umean_old", s2, dtype=dt_, space=sp)
-        self.vm_old = View("vmean_old", s2, dtype=dt_, space=sp)
-        self.gx = View("gforce_x", s2, dtype=dt_, space=sp)
-        self.gy = View("gforce_y", s2, dtype=dt_, space=sp)
+        self.eta = View("eta_work", s2, dtype=dt_b, space=sp)
+        self.eta_prev = View("eta_prev", s2, dtype=dt_b, space=sp)
+        self.um = View("umean", s2, dtype=dt_b, space=sp)
+        self.vm = View("vmean", s2, dtype=dt_b, space=sp)
+        self.um_old = View("umean_old", s2, dtype=dt_b, space=sp)
+        self.vm_old = View("vmean_old", s2, dtype=dt_b, space=sp)
+        self.gx = View("gforce_x", s2, dtype=dt_b, space=sp)
+        self.gy = View("gforce_y", s2, dtype=dt_b, space=sp)
         # negated depth means for the barotropic strip: two views (not
         # one reused buffer) so the strip_u/strip_v launches are adjacent
         # and the graph fusion pass can merge them
-        self.negu = View("neg_umean", s2, dtype=dt_, space=sp)
-        self.negv = View("neg_vmean", s2, dtype=dt_, space=sp)
+        self.negu = View("neg_umean", s2, dtype=dt_b, space=sp)
+        self.negv = View("neg_vmean", s2, dtype=dt_b, space=sp)
+
+        # -- precision-cast shadows ------------------------------------------
+        # When a consumer family is narrower than a producer family, the
+        # consumer reads an explicitly cast shadow view instead of the
+        # wide original; the casts are their own launches
+        # (``precision_cast``), so they show up in graphs, lint and
+        # traces.  Under a uniform policy every shadow aliases its
+        # source and zero cast launches are emitted.
+        st = self.state
+
+        def shadow(src: View, family: str, name: str) -> View:
+            if src.dtype == famdt(family):
+                return src
+            return View(name, src.shape, dtype=famdt(family), space=sp)
+
+        self.p_mom = shadow(st.p, "momentum", "p_mom")
+        self.rho_vmix = shadow(st.rho, "vmix", "rho_vmix")
+        self.u_vmix = shadow(st.u.cur, "vmix", "u_cur_vmix")
+        self.v_vmix = shadow(st.v.cur, "vmix", "v_cur_vmix")
+        self.kappa_m_mom = shadow(st.kappa_m, "momentum", "kappa_m_mom")
+        self.kappa_h_tr = shadow(st.kappa_h, "tracer", "kappa_h_tr")
+        self.negu_mom = shadow(self.negu, "momentum", "neg_umean_mom")
+        self.negv_mom = shadow(self.negv, "momentum", "neg_vmean_mom")
+        self.ub_mom = shadow(st.ub, "momentum", "ub_mom")
+        self.vb_mom = shadow(st.vb, "momentum", "vb_mom")
+        self.u_tr = shadow(st.u.cur, "tracer", "u_cur_tr")
+        self.v_tr = shadow(st.v.cur, "tracer", "v_cur_tr")
+        self.w_tr = shadow(st.w, "tracer", "w_tr")
 
         # -- forcing, geometry ------------------------------------------------
         global_forcing = make_forcing(self.grid, self.params.forcing)
-        self.taux = local_with_halo(global_forcing.taux_u, self.decomp, self.rank, sign=-1.0)
-        self.tauy = local_with_halo(global_forcing.tauy_u, self.decomp, self.rank, sign=-1.0)
-        self.sst_star = local_with_halo(global_forcing.sst_star, self.decomp, self.rank)
-        self.sss_star = local_with_halo(global_forcing.sss_star, self.decomp, self.rank)
+
+        def fam_arr(arr: np.ndarray, family: str) -> np.ndarray:
+            return arr.astype(famdt(family), copy=False)
+
+        self.taux = fam_arr(local_with_halo(
+            global_forcing.taux_u, self.decomp, self.rank, sign=-1.0), "momentum")
+        self.tauy = fam_arr(local_with_halo(
+            global_forcing.tauy_u, self.decomp, self.rank, sign=-1.0), "momentum")
+        self.sst_star = fam_arr(local_with_halo(
+            global_forcing.sst_star, self.decomp, self.rank), "tracer")
+        self.sss_star = fam_arr(local_with_halo(
+            global_forcing.sss_star, self.decomp, self.rank), "tracer")
         self.gamma_t = global_forcing.gamma_t
         self.gamma_s = global_forcing.gamma_s
-        self.hu = d.column_depth_u() * d.mask_u[0]
-        self._zero2d = np.zeros((d.ly, d.lx))
+        self.hu = fam_arr(d.column_depth_u() * d.mask_u[0], "barotropic")
+        self._zero2d = np.zeros((d.ly, d.lx), dtype=dt_tr)
 
         # -- numerics ---------------------------------------------------------
         dxm = self.grid.min_dx()
@@ -345,14 +404,14 @@ class LICOMKpp:
         d = self.domain
         h = d.halo
         nz = view.raw.shape[0]
-        self._ledger_halo(nz * 2 * h * (d.ly + d.lx) * 8.0)
+        self._ledger_halo(nz * 2 * h * (d.ly + d.lx) * float(view.raw.itemsize))
         self.halo.update3d(view.raw, sign=sign, fill=fill)
 
     def _halo2(self, view: View, sign: float = 1.0, fill: float = 0.0) -> None:
         self.space.fence()  # exchange reads results of in-flight launches
         d = self.domain
         h = d.halo
-        self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
+        self._ledger_halo(2 * h * (d.ly + d.lx) * float(view.raw.itemsize))
         self.halo.update2d(view.raw, sign=sign, fill=fill)
 
     def _halo3_group(self, specs) -> None:
@@ -373,7 +432,8 @@ class LICOMKpp:
         fields = []
         for v, sign, fill in specs:
             nz = v.raw.shape[0]
-            self._ledger_halo(nz * 2 * h * (d.ly + d.lx) * 8.0)
+            self._ledger_halo(nz * 2 * h * (d.ly + d.lx)
+                              * float(v.raw.itemsize))
             fields.append((v.raw, sign, fill))
         self.halo.update_many(fields, phase="halo3")
 
@@ -388,7 +448,7 @@ class LICOMKpp:
         h = d.halo
         fields = []
         for v, sign, fill in specs:
-            self._ledger_halo(2 * h * (d.ly + d.lx) * 8.0)
+            self._ledger_halo(2 * h * (d.ly + d.lx) * float(v.raw.itemsize))
             fields.append((v.raw, sign, fill))
         self.halo.update_many(fields, phase="halo2")
 
@@ -401,6 +461,24 @@ class LICOMKpp:
         if self._capture is not None:
             self._capture.add_kernel(label, policy, functor)
         self.space.parallel_for(label, policy, functor)
+
+    def _cast(self, src: View, dst: View) -> None:
+        """Emit an explicit family-boundary cast launch (no-op on alias).
+
+        The only place a value changes precision: when ``dst`` is a
+        shadow view of a different dtype, a ``precision_cast`` sweep
+        copies (and converts) the full range, halos included, so the
+        narrow consumer's stencils read converted ghosts.  Under a
+        uniform policy every shadow aliases its source and nothing is
+        launched — double-precision schedules are unchanged.
+        """
+        if dst is src:
+            return
+        policy = MDRangePolicy([(0, n) for n in dst.shape])
+        if dst.ndim == 2:
+            self._run("precision_cast_2d", policy, CastFunctor2D(src, dst))
+        else:
+            self._run("precision_cast", policy, CastFunctor(src, dst))
 
     def _host(self, fn, label: str = "host",
               effects: Optional[HostEffects] = None) -> None:
@@ -433,7 +511,12 @@ class LICOMKpp:
             views += [f.old, f.cur, f.new]
         views += (self.tstar_all + self.tdiff_work_all
                   + self.rplus_all + self.rminus_all)
-        nums = (self.visc, self.bivisc, self.tdiff, self.eta_diff,
+        views += [self.p_mom, self.rho_vmix, self.u_vmix, self.v_vmix,
+                  self.kappa_m_mom, self.kappa_h_tr, self.negu_mom,
+                  self.negv_mom, self.ub_mom, self.vb_mom,
+                  self.u_tr, self.v_tr, self.w_tr]
+        nums = (self.policy.signature(),
+                self.visc, self.bivisc, self.tdiff, self.eta_diff,
                 self.params.asselin, self.params.bottom_drag,
                 self.params.advect_momentum, self.params.n_passive,
                 self.params.halo_fused, self.params.canuto_every,
@@ -507,9 +590,11 @@ class LICOMKpp:
             # -- density / pressure / mixing coefficients -------------------
             with self.timers.timer("eos_pressure"):
                 run("eos_density", self.p_full3,
-                    EOSFunctor(st.t.cur, st.s.cur, st.rho, d.mask_t))
+                    EOSFunctor(st.t.cur, st.s.cur, st.rho,
+                               self.dom_eos.mask_t))
                 run("baroclinic_pressure", self.p_full2,
-                    PressureFunctor(st.rho, st.p, d.mask_t, d.dz))
+                    PressureFunctor(st.rho, st.p, self.dom_eos.mask_t,
+                                    self.dom_eos.dz))
             if canuto:
                 with self.timers.timer("canuto"):
                     self._run_canuto()
@@ -517,32 +602,36 @@ class LICOMKpp:
             # -- vertical velocity from current (time-centered) flow --------
             with self.timers.timer("w_diag"):
                 run("vertical_velocity", self.p_int2g,
-                    WFunctor(st.u.cur, st.v.cur, st.w, d))
+                    WFunctor(st.u.cur, st.v.cur, st.w, self.dom_momentum))
 
             # -- baroclinic momentum ----------------------------------------
             with self.timers.timer("momentum"):
+                self._cast(st.p, self.p_mom)
+                self._cast(st.kappa_m, self.kappa_m_mom)
                 run("baroclinic_tendency", self.p_int3,
                     BaroclinicTendencyFunctor(
-                        st.u.old, st.v.old, st.u.cur, st.v.cur, st.w, st.p,
-                        st.u.new, st.v.new, d, dt2, self.visc,
+                        st.u.old, st.v.old, st.u.cur, st.v.cur, st.w,
+                        self.p_mom, st.u.new, st.v.new, self.dom_momentum,
+                        dt2, self.visc,
                         advect=self.params.advect_momentum,
                         biharmonic=self.bivisc))
                 run("vertical_friction", self.p_int2,
                     VerticalFrictionFunctor(
-                        st.u.new, st.v.new, st.kappa_m, self.taux, self.tauy,
-                        d, dt2, self.params.bottom_drag))
+                        st.u.new, st.v.new, self.kappa_m_mom, self.taux,
+                        self.tauy, self.dom_momentum, dt2,
+                        self.params.bottom_drag))
                 # Capture the depth-mean force for the barotropic solver
                 # BEFORE Coriolis rotation: the subcycle applies its own
                 # Coriolis, and a rotation baked into G would double it
                 # (a classic splitting instability).
                 run("depth_mean_u_old", self.p_full2,
-                    DepthMeanFunctor(st.u.old, self.um_old, d))
+                    DepthMeanFunctor(st.u.old, self.um_old, self.dom_scan))
                 run("depth_mean_v_old", self.p_full2,
-                    DepthMeanFunctor(st.v.old, self.vm_old, d))
+                    DepthMeanFunctor(st.v.old, self.vm_old, self.dom_scan))
                 run("depth_mean_u_new", self.p_full2,
-                    DepthMeanFunctor(st.u.new, self.um, d))
+                    DepthMeanFunctor(st.u.new, self.um, self.dom_scan))
                 run("depth_mean_v_new", self.p_full2,
-                    DepthMeanFunctor(st.v.new, self.vm, d))
+                    DepthMeanFunctor(st.v.new, self.vm, self.dom_scan))
                 self._host(lambda: self._update_gforce(dt2), "gforce",
                            HostEffects(
                                reads=(self.um, self.um_old,
@@ -550,7 +639,8 @@ class LICOMKpp:
                                writes=(self.gx, self.gy), fences=True))
                 run("coriolis_rotation", self.p_int3,
                     CoriolisRotationFunctor(st.u.new, st.v.new,
-                                            st.u.old, st.v.old, d, dt2))
+                                            st.u.old, st.v.old,
+                                            self.dom_momentum, dt2))
             self._host(self._halo_uv_new, "halo_momentum",
                        HostEffects(halo_refresh=(st.u.new, st.v.new),
                                    fences=True))
@@ -623,10 +713,13 @@ class LICOMKpp:
 
     def _run_canuto(self) -> None:
         st = self.state
+        self._cast(st.u.cur, self.u_vmix)
+        self._cast(st.v.cur, self.v_vmix)
+        self._cast(st.rho, self.rho_vmix)
         self._run(
             "canuto_mixing", self.p_int2,
-            CanutoMixFunctor(st.u.cur, st.v.cur, st.rho,
-                             st.kappa_m, st.kappa_h, self.domain))
+            CanutoMixFunctor(self.u_vmix, self.v_vmix, self.rho_vmix,
+                             st.kappa_m, st.kappa_h, self.dom_vmix))
 
     def _barotropic_cycle(self, dt2: float) -> None:
         """Forward-backward subcycle over ``nsub`` barotropic steps.
@@ -638,8 +731,8 @@ class LICOMKpp:
         gravity waves, which is exactly what the splitting needs.
         """
         st = self.state
-        d = self.domain
         run = self._run
+        dom_b = self.dom_barotropic
         dtb = self.config.dt_barotropic
         steps = max(1, int(round(self.config.dt_baroclinic / dtb)))
 
@@ -647,25 +740,34 @@ class LICOMKpp:
         # (the depth-mean force gx/gy was captured pre-rotation in step());
         # both means are negated in one host node so strip_u/strip_v stay
         # adjacent (fusible) — strip_u never reads negv, so no fence between
-        run("depth_mean_u_new", self.p_full2, DepthMeanFunctor(st.u.new, self.um, d))
-        run("depth_mean_v_new", self.p_full2, DepthMeanFunctor(st.v.new, self.vm, d))
+        run("depth_mean_u_new", self.p_full2,
+            DepthMeanFunctor(st.u.new, self.um, self.dom_scan))
+        run("depth_mean_v_new", self.p_full2,
+            DepthMeanFunctor(st.v.new, self.vm, self.dom_scan))
         self._host(self._negate_means, "negate_means",
                    HostEffects(reads=(self.um, self.vm),
                                writes=(self.negu, self.negv), fences=True))
-        run("strip_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, self.negu, d))
-        run("strip_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, self.negv, d))
+        self._cast(self.negu, self.negu_mom)
+        self._cast(self.negv, self.negv_mom)
+        run("strip_barotropic_u", self.p_full3,
+            AddBarotropicFunctor(st.u.new, self.negu_mom, self.dom_momentum))
+        run("strip_barotropic_v", self.p_full3,
+            AddBarotropicFunctor(st.v.new, self.negv_mom, self.dom_momentum))
 
         # subcycle state: start from (eta, ubar) at the current level
         self._host(self._eta_init, "eta_init",
                    HostEffects(reads=(st.ssh.cur,), writes=(self.eta,)))
-        run("depth_mean_u_cur", self.p_full2, DepthMeanFunctor(st.u.cur, st.ub, d))
-        run("depth_mean_v_cur", self.p_full2, DepthMeanFunctor(st.v.cur, st.vb, d))
+        run("depth_mean_u_cur", self.p_full2,
+            DepthMeanFunctor(st.u.cur, st.ub, self.dom_scan))
+        run("depth_mean_v_cur", self.p_full2,
+            DepthMeanFunctor(st.v.cur, st.vb, self.dom_scan))
 
         cont = BarotropicContinuityFunctor(
-            st.ub, st.vb, self.eta_prev, self.eta, self.hu, d, dtb,
+            st.ub, st.vb, self.eta_prev, self.eta, self.hu, dom_b, dtb,
             eta_diff=self.eta_diff,
         )
-        mom = BarotropicMomentumFunctor(st.ub, st.vb, self.eta, self.gx, self.gy, d, dtb)
+        mom = BarotropicMomentumFunctor(st.ub, st.vb, self.eta, self.gx,
+                                        self.gy, dom_b, dtb)
         for i in range(steps):
             # sub-step boundary marker rides as a host node so replayed
             # graphs keep it on the timeline (no-op unless tracing)
@@ -684,8 +786,12 @@ class LICOMKpp:
         self._host(self._ssh_from_eta, "ssh_store",
                    HostEffects(reads=(self.eta,), writes=(st.ssh.new,)))
         # re-attach the subcycled barotropic mode
-        run("add_barotropic_u", self.p_full3, AddBarotropicFunctor(st.u.new, st.ub, d))
-        run("add_barotropic_v", self.p_full3, AddBarotropicFunctor(st.v.new, st.vb, d))
+        self._cast(st.ub, self.ub_mom)
+        self._cast(st.vb, self.vb_mom)
+        run("add_barotropic_u", self.p_full3,
+            AddBarotropicFunctor(st.u.new, self.ub_mom, self.dom_momentum))
+        run("add_barotropic_v", self.p_full3,
+            AddBarotropicFunctor(st.v.new, self.vb_mom, self.dom_momentum))
         self._host(self._halo_uv_new, "halo_momentum",
                    HostEffects(halo_refresh=(st.u.new, st.v.new),
                                fences=True))
@@ -706,12 +812,18 @@ class LICOMKpp:
         tracers = [(st.t, self.sst_star, self.gamma_t),
                    (st.s, self.sss_star, self.gamma_s)]
         tracers += [(p, self._zero2d, 0.0) for p in st.passive]
+        # tracer-family shadows of the advecting velocities and the
+        # mixing coefficient (aliases when families share a dtype)
+        self._cast(st.u.cur, self.u_tr)
+        self._cast(st.v.cur, self.v_tr)
+        self._cast(st.w, self.w_tr)
+        self._cast(st.kappa_h, self.kappa_h_tr)
         if not self.params.halo_fused:
             for i, (fld, star2d, gamma) in enumerate(tracers):
                 self._tracer_step(i, fld, star2d, gamma, dt2)
             return
 
-        d = self.domain
+        d = self.dom_tracer
         run = self._run
         n = len(tracers)
         work, tst = self.tdiff_work_all, self.tstar_all
@@ -753,25 +865,25 @@ class LICOMKpp:
         # stage 2 — low-order predictor
         for i in range(n):
             run("advect_tracer_predictor", self.p_int2,
-                AdvectPredictorFunctor(work[i], st.u.cur, st.v.cur, st.w,
-                                       tst[i], d, dt2))
+                AdvectPredictorFunctor(work[i], self.u_tr, self.v_tr,
+                                       self.w_tr, tst[i], d, dt2))
         self._host(halo_tstar, "halo_tracer",
                    HostEffects(halo_refresh=tst[:n], fences=True))
         # stage 3 — FCT limiters: every tracer's R+ and R- in one message
         for i in range(n):
             run("advect_tracer_limits", self.p_int2,
-                FCTLimitFunctor(work[i], tst[i], st.u.cur, st.v.cur,
-                                st.w, rp[i], rm[i], d, dt2))
+                FCTLimitFunctor(work[i], tst[i], self.u_tr, self.v_tr,
+                                self.w_tr, rp[i], rm[i], d, dt2))
         self._host(halo_limits, "halo_tracer",
                    HostEffects(halo_refresh=rp[:n] + rm[:n], fences=True))
         # stage 4 — limited apply + implicit vertical operator
         for i, (fld, star2d, gamma) in enumerate(tracers):
             run("advect_tracer_apply", self.p_int2,
-                FCTApplyFunctor(tst[i], st.u.cur, st.v.cur, st.w,
+                FCTApplyFunctor(tst[i], self.u_tr, self.v_tr, self.w_tr,
                                 rp[i], rm[i], fld.new, d, dt2))
             run("vertical_tracer_diffusion", self.p_int2,
-                VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
-                                               gamma, d, dt2))
+                VerticalTracerDiffusionFunctor(fld.new, self.kappa_h_tr,
+                                               star2d, gamma, d, dt2))
         self._host(halo_new, "halo_tracer",
                    HostEffects(halo_refresh=[fld.new for fld, _, _ in tracers],
                                fences=True))
@@ -787,7 +899,7 @@ class LICOMKpp:
         relies on it).
         """
         st = self.state
-        d = self.domain
+        d = self.dom_tracer
         run = self._run
         work, tst = self.tdiff_work_all[i], self.tstar_all[i]
         rp, rm = self.rplus_all[i], self.rminus_all[i]
@@ -816,19 +928,19 @@ class LICOMKpp:
             TracerHDiffusionFunctor(fld.old, work, d, dt2, self.tdiff))
         self._host(halo_one(work), "halo_tracer", refresh(work))
         run("advect_tracer_predictor", self.p_int2,
-            AdvectPredictorFunctor(work, st.u.cur, st.v.cur, st.w,
+            AdvectPredictorFunctor(work, self.u_tr, self.v_tr, self.w_tr,
                                    tst, d, dt2))
         self._host(halo_one(tst), "halo_tracer", refresh(tst))
         run("advect_tracer_limits", self.p_int2,
-            FCTLimitFunctor(work, tst, st.u.cur, st.v.cur,
-                            st.w, rp, rm, d, dt2))
+            FCTLimitFunctor(work, tst, self.u_tr, self.v_tr,
+                            self.w_tr, rp, rm, d, dt2))
         self._host(halo_limits, "halo_tracer", refresh(rp, rm))
         run("advect_tracer_apply", self.p_int2,
-            FCTApplyFunctor(tst, st.u.cur, st.v.cur, st.w,
+            FCTApplyFunctor(tst, self.u_tr, self.v_tr, self.w_tr,
                             rp, rm, fld.new, d, dt2))
         run("vertical_tracer_diffusion", self.p_int2,
-            VerticalTracerDiffusionFunctor(fld.new, st.kappa_h, star2d,
-                                           gamma, d, dt2))
+            VerticalTracerDiffusionFunctor(fld.new, self.kappa_h_tr,
+                                           star2d, gamma, d, dt2))
         self._host(halo_one(fld.new), "halo_tracer", refresh(fld.new))
 
     # ------------------------------------------------------------------

@@ -9,6 +9,11 @@ has:
   mixing coefficients, the step/clock counters) in a single compressed
   ``.npz``.  Restarting must be *exact*: a run continued from a restart
   is bitwise identical to an uninterrupted run (enforced by tests).
+  Exactness includes dtype: every field round-trips at its allocated
+  width (a mixed-precision run writes fp32 tracers and fp64 barotropic
+  fields), and loading into a model whose precision policy allocates a
+  different width raises :class:`~repro.errors.OceanError` instead of
+  silently widening or rounding.
 * **History accumulation** — running time-means of the standard output
   fields (SST, SSH, surface currents), flushed to ``.npz`` on demand.
 * :func:`io_cost_estimate` — the analytic I/O model: bytes per restart /
@@ -45,6 +50,10 @@ def save_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> pathlib.Pat
         arrays[f"{name}_cur"] = fld.cur.raw
     for name in _EXTRA_VIEWS:
         arrays[name] = getattr(model.state, name).raw
+    # the policy that allocated these dtypes, for actionable mismatch
+    # errors on load (the arrays themselves carry the per-field dtypes)
+    arrays["policy"] = np.array(
+        [f"{fam}={dt}" for fam, dt in model.policy.signature()])
     arrays["meta"] = np.array([
         RESTART_VERSION,
         model.nstep,
@@ -59,13 +68,28 @@ def save_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> pathlib.Pat
     return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
 
 
+def _check_dtype(name: str, src: np.ndarray, dst: np.ndarray,
+                 file_policy: Optional[str]) -> None:
+    """Refuse a silent cast: restart loads are bitwise or they fail."""
+    if src.dtype == dst.dtype:
+        return
+    hint = f" (file written with policy {file_policy})" if file_policy else ""
+    raise OceanError(
+        f"restart field {name!r} is {src.dtype.name} but the model "
+        f"allocates {dst.dtype.name}{hint}; restarts are bit-exact, so "
+        "the restarting run must use the precision policy that wrote "
+        "the file")
+
+
 def load_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> None:
     """Restore a model's state from a restart file (exact continuation).
 
     Raises
     ------
     OceanError
-        On version or grid-shape mismatch.
+        On version, grid-shape or per-field dtype mismatch (a mixed
+        restart never silently widens into an fp64 model, nor an fp64
+        restart silently rounds into a narrow one).
     """
     with np.load(pathlib.Path(path)) as data:
         meta = data["meta"]
@@ -81,13 +105,19 @@ def load_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> None:
                 f"file {tuple(int(x) for x in meta[3:6])}, model "
                 f"{(model.config.nx, model.config.ny, model.config.nz)}"
             )
+        fpol = None
+        if "policy" in data.files:
+            fpol = ", ".join(str(x) for x in data["policy"])
         for name in _PROGNOSTIC:
             fld = getattr(model.state, name)
+            _check_dtype(name, data[f"{name}_cur"], fld.cur.raw, fpol)
             fld.old.raw[...] = data[f"{name}_old"]
             fld.cur.raw[...] = data[f"{name}_cur"]
             fld.new.raw[...] = 0.0
         for name in _EXTRA_VIEWS:
-            getattr(model.state, name).raw[...] = data[name]
+            dst = getattr(model.state, name).raw
+            _check_dtype(name, data[name], dst, fpol)
+            dst[...] = data[name]
         model.nstep = int(meta[1])
         model.time_seconds = float(meta[2])
 

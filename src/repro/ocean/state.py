@@ -14,11 +14,12 @@ Array convention: 3-D fields are ``(nz, ly, lx)`` and 2-D fields
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..kokkos import HostSpace, MemorySpace, View
+from .precision import PrecisionPolicy, resolve_precision
 
 
 class LeapfrogField:
@@ -68,34 +69,52 @@ class ModelState:
     space:
         Memory space for the views (host for serial/openmp/athread,
         device for cuda/hip).
+    dtype:
+        Uniform dtype for every field (the historical interface).
+        Ignored when ``policy`` is given.
+    policy:
+        A :class:`~repro.ocean.precision.PrecisionPolicy` (or anything
+        :func:`~repro.ocean.precision.resolve_precision` accepts):
+        each field is allocated at its kernel family's dtype.
     """
 
     def __init__(self, nz: int, ly: int, lx: int, space: MemorySpace = HostSpace,
-                 dtype=np.float64, n_passive: int = 0) -> None:
+                 dtype=np.float64, n_passive: int = 0,
+                 policy: Optional[PrecisionPolicy] = None) -> None:
         self.nz, self.ly, self.lx = nz, ly, lx
         self.space = space
-        self.dtype = np.dtype(dtype)
+        if policy is None:
+            dt = np.dtype(dtype)
+            policy = resolve_precision(
+                {fam: dt for fam in ("tracer", "momentum", "vmix",
+                                     "barotropic", "eos", "scan")})
+        self.policy = policy
+        fd = policy.field_dtype
+        #: Representative dtype (tracer family) — the historical
+        #: uniform-precision attribute.
+        self.dtype = fd("t")
         s3 = (nz, ly, lx)
         s2 = (ly, lx)
         # prognostic leapfrog fields
-        self.u = LeapfrogField("u", s3, space, dtype)    # zonal velocity [m/s]
-        self.v = LeapfrogField("v", s3, space, dtype)    # meridional velocity [m/s]
-        self.t = LeapfrogField("temp", s3, space, dtype)  # potential temperature [C]
-        self.s = LeapfrogField("salt", s3, space, dtype)  # salinity [psu]
-        self.ssh = LeapfrogField("ssh", s2, space, dtype)  # sea surface height [m]
+        self.u = LeapfrogField("u", s3, space, fd("u"))    # zonal velocity [m/s]
+        self.v = LeapfrogField("v", s3, space, fd("v"))    # meridional velocity [m/s]
+        self.t = LeapfrogField("temp", s3, space, fd("t"))  # potential temperature [C]
+        self.s = LeapfrogField("salt", s3, space, fd("s"))  # salinity [psu]
+        self.ssh = LeapfrogField("ssh", s2, space, fd("ssh"))  # sea surface height [m]
         # barotropic (depth-mean) velocities [m/s]
-        self.ub = View("ub", s2, dtype=dtype, space=space)
-        self.vb = View("vb", s2, dtype=dtype, space=space)
+        self.ub = View("ub", s2, dtype=fd("ub"), space=space)
+        self.vb = View("vb", s2, dtype=fd("vb"), space=space)
         # diagnostics / work
-        self.rho = View("rho", s3, dtype=dtype, space=space)   # in-situ density
-        self.p = View("press", s3, dtype=dtype, space=space)   # baroclinic pressure / rho0
-        self.w = View("w", (nz + 1, ly, lx), dtype=dtype, space=space)  # interface w (positive up)
-        self.kappa_h = View("kappa_h", s3, dtype=dtype, space=space)  # tracer mixing [m^2/s]
-        self.kappa_m = View("kappa_m", s3, dtype=dtype, space=space)  # momentum mixing [m^2/s]
+        self.rho = View("rho", s3, dtype=fd("rho"), space=space)   # in-situ density
+        self.p = View("press", s3, dtype=fd("p"), space=space)   # baroclinic pressure / rho0
+        self.w = View("w", (nz + 1, ly, lx), dtype=fd("w"), space=space)  # interface w (positive up)
+        self.kappa_h = View("kappa_h", s3, dtype=fd("kappa_h"), space=space)  # tracer mixing [m^2/s]
+        self.kappa_m = View("kappa_m", s3, dtype=fd("kappa_m"), space=space)  # momentum mixing [m^2/s]
         # optional passive tracers (dye/age): advected and diffused like
         # T/S but unforced — LICOM's extra-tracer capability
         self.passive = [
-            LeapfrogField(f"ptracer{i}", s3, space, dtype) for i in range(n_passive)
+            LeapfrogField(f"ptracer{i}", s3, space, fd("passive"))
+            for i in range(n_passive)
         ]
 
     def leapfrog_fields(self) -> Dict[str, LeapfrogField]:

@@ -28,10 +28,19 @@ from .scheduler import (
     format_schedule,
     throughput_options,
 )
+from .familycost import (
+    DEFAULT_FAMILY_SHARES,
+    FamilyShares,
+    measure_family_shares,
+    policy_halo_word,
+    policy_profile,
+)
 from .scaling import (
     CANUTO_IMBALANCE,
     ScalingPoint,
     mixed_precision_projection,
+    policy_projection,
+    projection_crosscheck,
     optimization_speedup,
     portability_sypd,
     predict_step_time,
@@ -51,7 +60,9 @@ __all__ = [
     "predict_sypd", "predict_step_time", "sypd_from_step_time",
     "strong_scaling", "weak_scaling", "ScalingPoint",
     "portability_sypd", "optimization_speedup", "CANUTO_IMBALANCE",
-    "mixed_precision_projection",
+    "mixed_precision_projection", "policy_projection", "projection_crosscheck",
+    "FamilyShares", "DEFAULT_FAMILY_SHARES", "measure_family_shares",
+    "policy_profile", "policy_halo_word",
     "StepBreakdown", "step_breakdown", "format_breakdown_table",
     "PipelineEstimate", "cpe_pipeline_time", "double_buffer_speedup",
     "PlatformOption", "choose_platform", "throughput_options", "format_schedule",

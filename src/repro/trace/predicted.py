@@ -63,6 +63,13 @@ def _leaf_duration(sp: Span, m) -> float:
     nbytes = float(args.get("bytes", 0.0))
     if sp.cat == "kernel":
         flops = float(args.get("flops", 0.0))
+        dtype = args.get("dtype")
+        if dtype:
+            # declared bytes_per_point count 8-byte words; a narrow
+            # sweep moves itemsize/8 of that, a cast boundary (f4+f8)
+            # the mean of its two sides
+            widths = [{"f4": 4.0}.get(tag, 8.0) for tag in dtype.split("+")]
+            nbytes *= (sum(widths) / len(widths)) / 8.0
         streaming = nbytes / m.effective_bw_unit if nbytes else 0.0
         compute = flops / m.peak_flops_unit if flops else 0.0
         overhead = m.launch_overhead
