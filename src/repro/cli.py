@@ -28,6 +28,12 @@ Commands
     per-family throughput projection: ``python -m repro precision
     [--policy mixed] [--steps 16] [--backend serial]``.  Exits 1 when
     the divergence exceeds a budget.
+``serve``
+    Ensemble serving: admit jobs from a jobspec file (priced on
+    admission with the machine model, engine-shared by configuration
+    signature, checkpointed atomically): ``python -m repro serve
+    --jobs jobs.json [--workers 4] [--budget 10]``; ``--demo`` runs
+    the built-in shared-pair + kill-and-resume smoke.
 """
 
 from __future__ import annotations
@@ -46,22 +52,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cfg = demo(args.size, full_depth=args.full_depth)
     params = ModelParams(precision=args.precision)
     model = LICOMKpp(cfg, backend=args.backend, params=params)
-    if args.restart_in:
-        load_restart(model, args.restart_in)
-        print(f"restarted from {args.restart_in} at step {model.nstep}")
-    print(f"running {cfg.name} ({cfg.nx}x{cfg.ny}x{cfg.nz}) on "
-          f"{args.backend} for {args.days} days...")
-    model.run_days(args.days)
-    s = sst_stats(model)
-    ro = rossby_stats(model)
-    print(f"day {model.time_seconds / 86400:.1f}: "
-          f"SST {s.min:.2f}..{s.max:.2f} C (gradient {s.meridional_gradient:.1f}), "
-          f"KE {model.kinetic_energy():.3e}, rms|Ro| {ro.rms:.2e}")
-    if args.timers:
-        print(model.timers.report())
-    if args.restart_out:
-        path = save_restart(model, args.restart_out)
-        print(f"restart written to {path}")
+    try:
+        if args.restart_in:
+            load_restart(model, args.restart_in)
+            print(f"restarted from {args.restart_in} at step {model.nstep}")
+        print(f"running {cfg.name} ({cfg.nx}x{cfg.ny}x{cfg.nz}) on "
+              f"{args.backend} for {args.days} days...")
+        model.run_days(args.days)
+        s = sst_stats(model)
+        ro = rossby_stats(model)
+        print(f"day {model.time_seconds / 86400:.1f}: "
+              f"SST {s.min:.2f}..{s.max:.2f} C "
+              f"(gradient {s.meridional_gradient:.1f}), "
+              f"KE {model.kinetic_energy():.3e}, rms|Ro| {ro.rms:.2e}")
+        if args.timers:
+            print(model.timers.report())
+        if args.restart_out:
+            path = save_restart(model, args.restart_out)
+            print(f"restart written to {path}")
+    finally:
+        # a failed run (bad restart file, NaN blow-up) must not leak
+        # the context's arenas and graph plans
+        model.close()
     return 0
 
 
@@ -186,11 +198,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracers = []
     if args.ranks <= 1:
         model = LICOMKpp(cfg, backend=args.backend, params=params)
-        model.run_steps(args.steps)
-        tracers.append(model.context.tracer)
-        if args.graph:
-            _report_jit_coverage(model)
-        model.close()
+        try:
+            model.run_steps(args.steps)
+            tracers.append(model.context.tracer)
+            if args.graph:
+                _report_jit_coverage(model)
+        finally:
+            model.close()
     else:
         # multi-rank: thread mode runs ranks in-process, process mode
         # spawns one OS process per rank (shared-memory halo traffic)
@@ -265,6 +279,104 @@ def _cmd_precision(args: argparse.Namespace) -> int:
                   f"{p:.3f} SYPD ({sp:.2f}x; flat fp32 bound "
                   f"{flat['flat_single_speedup']:.2f}x)")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeScheduler, load_jobspecs
+
+    if not args.demo and not args.jobs:
+        print("serve: pass --jobs FILE or --demo", file=sys.stderr)
+        return 2
+    sched = ServeScheduler(workers=args.workers, budget=args.budget,
+                           artifacts=args.artifacts)
+    try:
+        if args.demo:
+            return _serve_demo(sched)
+        specs = load_jobspecs(args.jobs)
+        jobs = sched.submit_many(specs)
+        sched.wait_all()
+        failed = 0
+        for job in jobs:
+            line = f"[{job.status.value:>8s}] {job.spec.name}"
+            if job.quote is not None:
+                line += (f"  eta {job.quote.eta_seconds:.3g}s on "
+                         f"{job.quote.machine} "
+                         f"(cost {job.quote.cost_unit_seconds:.3g} unit-s)")
+            if job.error:
+                line += f"  -- {job.error}"
+            if job.status.value in ("failed", "rejected"):
+                failed += 1
+            print(line)
+        cache = sched.cache.stats()
+        print(f"engines {cache['engines']}, cache hits {cache['hits']}, "
+              f"misses {cache['misses']}; artifacts in {sched.artifacts}")
+        return 1 if failed else 0
+    finally:
+        sched.shutdown()
+
+
+def _serve_demo(sched) -> int:
+    """The two-part serving smoke CI runs on the tiny config.
+
+    Part 1: a shared-signature pair — two identical jobs must lease one
+    engine (>= 1 cache hit) and produce bitwise-identical states.
+    Part 2: kill-and-resume — a job checkpointed mid-run and resumed
+    must finish bitwise identical to the uninterrupted run.
+    """
+    import numpy as np
+
+    from .ocean.model import STATE_FIELDS
+    from .serve import JobSpec
+
+    failures = []
+
+    def check(cond: bool, what: str) -> None:
+        print(("ok   " if cond else "FAIL ") + what)
+        if not cond:
+            failures.append(what)
+
+    def bitwise(a, b) -> bool:
+        return all(np.array_equal(a["state"][f], b["state"][f])
+                   for f in STATE_FIELDS)
+
+    pair0 = sched.submit(JobSpec(name="pair0", steps=4))
+    pair1 = sched.submit(JobSpec(name="pair1", steps=4))
+    solo = sched.submit(JobSpec(name="solo", steps=4))
+    sched.wait_all(300)
+    done = all(j.status.value == "done" for j in (pair0, pair1, solo))
+    check(done, "pair + solo jobs completed")
+    if not done:
+        for j in (pair0, pair1, solo):
+            if j.error:
+                print(f"  {j.spec.name}: {j.error}", file=sys.stderr)
+        sched.shutdown()
+        return 1
+    for j in (pair0, pair1, solo):
+        print(f"  {j.spec.name}: eta {j.quote.eta_seconds:.3g}s "
+              f"on {j.quote.machine}")
+    cache = sched.cache.stats()
+    check(cache["hits"] >= 1,
+          f"shared-signature cache hit (hits={cache['hits']}, "
+          f"misses={cache['misses']})")
+    check(bitwise(pair0.result, pair1.result),
+          "pair results bitwise identical")
+    check(bitwise(pair0.result, solo.result),
+          "shared-engine result bitwise identical to solo")
+
+    first = sched.submit(JobSpec(name="resume", steps=2, checkpoint_every=1))
+    first.wait(300)
+    check(first.status.value == "done",
+          "interrupted leg completed with checkpoints")
+    second = sched.submit(JobSpec(name="resume", steps=4, checkpoint_every=1,
+                                  resume=True))
+    second.wait(300)
+    check(second.status.value == "done"
+          and second.result["resumed_from"] == 2,
+          "resumed from step-2 checkpoint")
+    if second.result is not None:
+        check(bitwise(second.result, solo.result),
+              "resumed run bitwise identical to uninterrupted run")
+    return 1 if failures else 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -378,6 +490,24 @@ def build_parser() -> argparse.ArgumentParser:
     prec.add_argument("--no-project", dest="project", action="store_false",
                       help="skip the perfmodel throughput projection")
     prec.set_defaults(func=_cmd_precision)
+
+    sv = sub.add_parser(
+        "serve",
+        help="ensemble serving: admit, price, and run a jobspec file")
+    sv.add_argument("--jobs", default=None,
+                    help="jobspec JSON file (a list of job dicts or "
+                         "{'jobs': [...]})")
+    sv.add_argument("--demo", action="store_true",
+                    help="run the built-in smoke: a shared-signature pair "
+                         "and a kill-and-resume cycle on the tiny config")
+    sv.add_argument("--workers", type=int, default=2,
+                    help="worker threads in the bounded pool")
+    sv.add_argument("--budget", type=float, default=None,
+                    help="admission budget in modelled unit-seconds "
+                         "(over-quote jobs are rejected)")
+    sv.add_argument("--artifacts", default="serve_artifacts",
+                    help="root directory for per-job artifact directories")
+    sv.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -94,6 +94,27 @@ class TraceError(ReproError):
     """A span tracer was used out of protocol (unbalanced begin/end)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the ensemble serving layer."""
+
+
+class AdmissionError(ServeError):
+    """A job was refused at admission (over budget, malformed spec).
+
+    Raised by ``ServeScheduler.submit`` *before* the job is enqueued;
+    the message carries the perfmodel quote so the caller can see what
+    the job would have cost against the configured budget.
+    """
+
+
+class JobTimeout(ServeError):
+    """A running job exceeded its per-job deadline.
+
+    The worker thread converts this into a failed-job status; the
+    scheduler itself keeps serving (a timed-out job must never wedge
+    the pool)."""
+
+
 class PerfModelError(ReproError):
     """Base class for errors from the machine performance model."""
 

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import weakref
 from typing import Dict, List, Optional
 
 from ..timing import TimerRegistry
@@ -106,6 +107,12 @@ class ExecutionContext:
     """
 
     _ids = itertools.count()
+    #: Every open context, weakly held.  The serving layer's leak audit
+    #: (and its tests) ask "did that failed job leave a live context
+    #: behind?" — ``close()`` discards the entry, garbage collection
+    #: drops unclosed strays, so the set is exactly the open population.
+    _live: "weakref.WeakSet[ExecutionContext]" = weakref.WeakSet()
+    _live_lock = threading.Lock()
 
     def __init__(
         self,
@@ -151,6 +158,19 @@ class ExecutionContext:
             self._owns_space = True
         if trace:
             self.enable_tracing()
+        with ExecutionContext._live_lock:
+            ExecutionContext._live.add(self)
+
+    @classmethod
+    def live_contexts(cls) -> "List[ExecutionContext]":
+        """All contexts constructed but not yet closed (leak audit)."""
+        with cls._live_lock:
+            return [ctx for ctx in cls._live if not ctx.closed]
+
+    @classmethod
+    def live_count(cls) -> int:
+        """Number of open contexts (see :meth:`live_contexts`)."""
+        return len(cls.live_contexts())
 
     # -- tracing -------------------------------------------------------------
 
@@ -285,6 +305,8 @@ class ExecutionContext:
         if self.closed:
             return
         self.closed = True
+        with ExecutionContext._live_lock:
+            ExecutionContext._live.discard(self)
         for ws in self._workspaces:
             ws.release()
         if self._null_ws is not None:

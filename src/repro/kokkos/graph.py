@@ -50,7 +50,7 @@ compiled are un-fused back into the captured launches.
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import jit as _jit
 from .backends.base import ExecutionSpace, apply_tile
@@ -449,6 +449,23 @@ class LaunchGraph:
         """Fraction of replayed launches on a compiled tier."""
         launches = self.launches_per_replay
         return self.compiled_launches / launches if launches else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """One sealed graph's vitals as a plain dict.
+
+        The serving layer reports these per shared engine (how much work
+        one sealed plan amortised across jobs); keys are stable and all
+        values are JSON-serialisable.
+        """
+        return {
+            "sealed": self.sealed,
+            "captured_launches": self.captured_launches,
+            "launches_per_replay": self.launches_per_replay,
+            "fused_groups": self.fused_groups,
+            "compiled_launches": self.compiled_launches,
+            "jit_coverage": self.jit_coverage,
+            "replays": self.replays,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         hosts = sum(1 for n in self.nodes if isinstance(n, HostNode))

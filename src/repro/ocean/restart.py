@@ -23,7 +23,9 @@ has:
 
 from __future__ import annotations
 
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
@@ -41,8 +43,20 @@ _EXTRA_VIEWS = ("ub", "vb", "kappa_m", "kappa_h")
 
 
 def save_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write the model's full prognostic state to ``path`` (.npz)."""
+    """Write the model's full prognostic state to ``path`` (.npz).
+
+    The write is **atomic**: the archive is assembled in a temporary
+    file in the same directory and renamed into place with
+    :func:`os.replace`, so a crash or SIGKILL mid-checkpoint (exactly
+    what ``repro.serve``'s kill-and-resume does) can never leave a
+    truncated or corrupt restart — readers see either the previous
+    complete checkpoint or the new one, nothing in between.
+    """
     path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        # numpy appends .npz when a *name* lacks it; with a file object
+        # we write exactly where told, so normalise the name up front
+        path = path.with_name(path.name + ".npz")
     arrays: Dict[str, np.ndarray] = {}
     for name in _PROGNOSTIC:
         fld = getattr(model.state, name)
@@ -63,9 +77,21 @@ def save_restart(model: LICOMKpp, path: Union[str, pathlib.Path]) -> pathlib.Pat
         model.config.nz,
         model.rank,
     ], dtype=np.float64)
-    np.savez_compressed(path, **arrays)
-    # numpy appends .npz when the name lacks it
-    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+    fd, tmpname = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmpname, path)
+    except BaseException:
+        try:
+            os.unlink(tmpname)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _check_dtype(name: str, src: np.ndarray, dst: np.ndarray,

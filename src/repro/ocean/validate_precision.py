@@ -169,23 +169,28 @@ def validate_policy(
     cfg = demo(size)
     ref = LICOMKpp(cfg, backend=backend, params=ModelParams(precision="double"))
     test = LICOMKpp(cfg, backend=backend, params=ModelParams(precision=pol))
-    ref.run_steps(steps)
-    test.run_steps(steps)
+    try:
+        ref.run_steps(steps)
+        test.run_steps(steps)
 
-    report = PrecisionReport(policy=pol.name, size=size, steps=steps)
-    for name, budget in budgets.items():
-        report.fields.append(_field_error(test, ref, name, steps, budget))
+        report = PrecisionReport(policy=pol.name, size=size, steps=steps)
+        for name, budget in budgets.items():
+            report.fields.append(_field_error(test, ref, name, steps, budget))
 
-    ke_ref = ref.kinetic_energy()
-    report.energy_drift = abs(test.kinetic_energy() - ke_ref) / max(
-        abs(ke_ref), 1.0e-30)
-    report.energy_budget = ENERGY_BUDGET_SCALE * EPS32 * steps
-    for which in ("t", "s"):
-        m_ref = ref.tracer_content(which)
-        report.mass_drift[which] = abs(
-            test.tracer_content(which) - m_ref) / max(abs(m_ref), 1.0e-30)
-    report.mass_budget = MASS_BUDGET_SCALE * EPS32 * steps
-    return report
+        ke_ref = ref.kinetic_energy()
+        report.energy_drift = abs(test.kinetic_energy() - ke_ref) / max(
+            abs(ke_ref), 1.0e-30)
+        report.energy_budget = ENERGY_BUDGET_SCALE * EPS32 * steps
+        for which in ("t", "s"):
+            m_ref = ref.tracer_content(which)
+            report.mass_drift[which] = abs(
+                test.tracer_content(which) - m_ref) / max(abs(m_ref), 1.0e-30)
+        report.mass_budget = MASS_BUDGET_SCALE * EPS32 * steps
+        return report
+    finally:
+        # a blown-up narrow run must not leak two models' arenas
+        test.close()
+        ref.close()
 
 
 def validate_presets(

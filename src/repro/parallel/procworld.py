@@ -69,6 +69,29 @@ from .wire import FLAG_MOVE, ObjFrame, ShmFrame, decode, encode_obj, encode_shm
 TAG_COLL = (1 << 30) + 1
 TAG_COLL_RESULT = (1 << 30) + 2
 
+#: Worlds whose parent-side driver is currently between segment
+#: creation and its finally-sweep.  Normally empty the moment
+#: :func:`run_process_world` returns; a uid still here means a driver
+#: thread was killed mid-run and its ``/dev/shm`` segments may be
+#: orphaned — :func:`sweep_stray_worlds` (called by ``repro.serve``
+#: shutdown) reclaims them.
+_ACTIVE_UIDS: set = set()
+_ACTIVE_LOCK = threading.Lock()
+
+
+def sweep_stray_worlds() -> List[str]:
+    """Sweep segments of any world whose driver never finished.
+
+    Returns the segment names removed (empty on a healthy host).
+    """
+    with _ACTIVE_LOCK:
+        uids = list(_ACTIVE_UIDS)
+        _ACTIVE_UIDS.clear()
+    swept: List[str] = []
+    for uid in uids:
+        swept.extend(sweep_world_segments(uid))
+    return swept
+
 #: Extra seconds the parent waits beyond the world timeout before
 #: declaring unreported workers dead.
 PARENT_GRACE = 30.0
@@ -396,6 +419,8 @@ def run_process_world(
     placement.validate(size)
     ctx = mp.get_context("spawn")
     uid = uuid.uuid4().hex[:10]
+    with _ACTIVE_LOCK:
+        _ACTIVE_UIDS.add(uid)
     inboxes = [ctx.Queue() for _ in range(size)]
     report_q = ctx.Queue()
     procs: List[Tuple[Any, Tuple[int, ...]]] = []
@@ -468,6 +493,8 @@ def run_process_world(
                    for name in rep.get("segments") or ()]
         unlink_segments(created)
         swept = sweep_world_segments(uid)
+        with _ACTIVE_LOCK:
+            _ACTIVE_UIDS.discard(uid)
 
     results: List[Any] = [None] * size
     traffic = TrafficLedger()

@@ -23,9 +23,11 @@ from .breakdown import StepBreakdown, format_breakdown_table, step_breakdown
 from .cpe_pipeline import PipelineEstimate, cpe_pipeline_time, double_buffer_speedup
 from .related_work import RELATED_WORK, RelatedWorkPoint, kilometer_scale_realistic_leaders
 from .scheduler import (
+    JobQuote,
     PlatformOption,
     choose_platform,
     format_schedule,
+    quote_job,
     throughput_options,
 )
 from .familycost import (
@@ -66,5 +68,6 @@ __all__ = [
     "StepBreakdown", "step_breakdown", "format_breakdown_table",
     "PipelineEstimate", "cpe_pipeline_time", "double_buffer_speedup",
     "PlatformOption", "choose_platform", "throughput_options", "format_schedule",
+    "JobQuote", "quote_job",
     "RELATED_WORK", "RelatedWorkPoint", "kilometer_scale_realistic_leaders",
 ]

@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from ..ocean.config import ModelConfig
 from .machines import get_machine
-from .scaling import predict_sypd
+from .scaling import predict_step_time, predict_sypd, sypd_from_step_time
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,77 @@ class PlatformOption:
     @property
     def unit_hours_per_sim_year(self) -> float:
         return self.core_hours_per_sim_year * self.units / max(self.cores, 1)
+
+
+@dataclass(frozen=True)
+class JobQuote:
+    """Admission-time price of one serving job.
+
+    ``repro.serve`` quotes every submitted job with the calibrated
+    machine model before enqueueing it: what the run will cost (in
+    unit-seconds on the priced machine) and how long it should take.
+    The quote is advisory pricing — the tiny configs the scheduler
+    actually steps locally are priced on the same model as the paper's
+    kilometer-scale targets, which is exactly the §VIII "computing
+    power network" admission story.
+    """
+
+    machine: str
+    units: int
+    steps: int
+    #: Modelled wall seconds per baroclinic step (slowest rank).
+    seconds_per_step: float
+    #: Modelled wall seconds for the whole job.
+    eta_seconds: float
+    #: units x eta: the resource-consumption metric budgets are set in.
+    cost_unit_seconds: float
+    #: Throughput at this (machine, units) assignment.
+    sypd: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine,
+            "units": self.units,
+            "steps": self.steps,
+            "seconds_per_step": self.seconds_per_step,
+            "eta_seconds": self.eta_seconds,
+            "cost_unit_seconds": self.cost_unit_seconds,
+            "sypd": self.sypd,
+        }
+
+
+def quote_job(
+    cfg: ModelConfig,
+    machine: str = "gpu_workstation",
+    units: int = 1,
+    steps: int = 1,
+    precision: object = "double",
+) -> JobQuote:
+    """Price ``steps`` baroclinic steps of ``cfg`` on a machine.
+
+    Raises
+    ------
+    UnknownMachineError
+        When ``machine`` is not in the registry.
+    ValueError
+        When ``units`` or ``steps`` is not positive.
+    """
+    if units < 1:
+        raise ValueError(f"units must be >= 1, got {units}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    get_machine(machine)  # fail early on unknown names
+    t_step = predict_step_time(cfg, machine, units, precision=precision)
+    eta = t_step * steps
+    return JobQuote(
+        machine=machine,
+        units=int(units),
+        steps=int(steps),
+        seconds_per_step=t_step,
+        eta_seconds=eta,
+        cost_unit_seconds=eta * units,
+        sypd=sypd_from_step_time(cfg, t_step),
+    )
 
 
 def _min_units_for_target(

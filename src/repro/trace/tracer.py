@@ -220,6 +220,19 @@ class Tracer:
             self.instants.clear()
             self._stacks.clear()
 
+    def relabel(self, name: str, reset_epoch: bool = True) -> "Tracer":
+        """Rename the timeline (and restart its clock) for a new owner.
+
+        The serving layer leases one engine — one context, one tracer —
+        to many jobs in turn; each lease relabels the tracer with the
+        job's name so the exported timeline says whose steps these are,
+        and resets the epoch so per-job traces all start near t=0.
+        """
+        self.name = name
+        if reset_epoch:
+            self.epoch = self._clock()
+        return self
+
     def closed_spans(self) -> List[Span]:
         """All completed spans, in begin order."""
         return [s for s in self.spans if s.dur is not None]

@@ -1,0 +1,39 @@
+"""Module-level SimWorld programs for serve tests.
+
+Program jobs must be picklable for process mode (spawn semantics), so
+these live at module level rather than as closures inside tests.
+"""
+
+from __future__ import annotations
+
+
+def ring(comm, payload=7):
+    """Pass a token around the ring; returns what each rank received."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    comm.send(payload + comm.rank, dest=right, tag=3)
+    got = comm.recv(source=left, tag=3)
+    comm.barrier()
+    return got
+
+
+def wedge(comm):
+    """Deterministic deadlock: rank 1 waits for a message nobody sends.
+
+    The per-job timeout is the only way out — exactly the wedged-job
+    scenario the scheduler must survive.
+    """
+    if comm.size > 1 and comm.rank == 1:
+        return comm.recv(source=0, tag=99)  # never satisfied
+    return "ok"
+
+
+def boom(comm):
+    """Rank 1 raises; rank 0 returns without collectives.
+
+    In process mode the failing worker dies holding no segments, so the
+    parent-side sweep must leave ``/dev/shm`` clean.
+    """
+    if comm.rank == 1:
+        raise RuntimeError("deliberate failure for serve tests")
+    return "survivor"
